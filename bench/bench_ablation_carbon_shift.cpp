@@ -1,0 +1,69 @@
+// Ablation: carbon-aware temporal shifting of deferrable jobs.
+//
+// A "good grid citizen" extension of the paper's levers: instead of (only)
+// drawing less power, draw it when the grid is cleaner.  The harness plans
+// a month of representative deferrable jobs against the synthetic UK
+// intensity series for a range of flexibility horizons and deferrable
+// fractions, reporting scope-2 savings and the queueing delay paid.
+#include <iostream>
+
+#include "core/facility.hpp"
+#include "grid/carbon_shift.hpp"
+#include "util/rng.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+
+  // A winter month of the synthetic UK grid (higher, more variable
+  // intensity: the regime where shifting pays most).
+  const SimTime m0 = sim_time_from_date({2022, 11, 1});
+  const SimTime m1 = sim_time_from_date({2022, 12, 15});
+  const CarbonIntensitySeries ci(synthetic_carbon_intensity(
+      CarbonIntensityParams{}, m0, m1, Rng(61)));
+  const CarbonShiftPlanner planner(ci);
+
+  // A representative stream of jobs shaped like the production mix.
+  Rng rng(62);
+  std::vector<CarbonShiftPlanner::StudyJob> jobs;
+  const auto mix = facility.catalog().production_mix();
+  for (int i = 0; i < 400; ++i) {
+    const auto* app = mix[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mix.size()) - 1))];
+    CarbonShiftPlanner::StudyJob j;
+    j.earliest = m0 + Duration::hours(rng.uniform(0.0, 24.0 * 30.0));
+    j.runtime = Duration::hours(
+        std::max(0.5, app->spec().typical_runtime_h * rng.uniform(0.5, 1.5)));
+    j.mean_power = app->node_draw(DeterminismMode::kPerformanceDeterminism,
+                                  pstates::kHighTurbo) *
+                   app->spec().typical_nodes;
+    jobs.push_back(j);
+  }
+
+  TextTable t({"Deferrable share", "Horizon", "Scope-2 saving",
+               "Mean delay (h)"},
+              {Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+  for (double share : {0.25, 0.50, 1.00}) {
+    auto subset = jobs;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      subset[i].deferrable =
+          static_cast<double>(i) < share * static_cast<double>(subset.size());
+    }
+    for (double horizon_h : {6.0, 12.0, 24.0, 48.0}) {
+      const auto r = planner.study(subset, Duration::hours(horizon_h));
+      t.add_row({TextTable::pct(share, 0),
+                 TextTable::num(horizon_h, 0) + " h",
+                 TextTable::pct(r.saving_fraction, 1),
+                 TextTable::num(r.mean_delay_hours, 1)});
+    }
+  }
+  std::cout << "Ablation: carbon-aware temporal shifting (winter month, "
+               "synthetic UK grid)\n"
+            << t.str() << '\n';
+  std::cout << "Reading: even a 24 h flexibility window on half the "
+               "workload saves several percent of scope-2 — comparable to "
+               "the BIOS lever, at zero performance cost but real queueing "
+               "delay.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the mechanism behind Table 3 — per-node power spread under
+// power vs performance determinism across a fleet with realistic silicon
+// variation.  Power determinism lets well-binned parts chase the power
+// limit (wide, high distribution); performance determinism clamps every
+// part to the reference (degenerate distribution at the calibrated draw).
+#include <iostream>
+
+#include "core/facility.hpp"
+#include "power/fleet.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+  const NodePowerParams& np = facility.node_params();
+  const ApplicationModel& app =
+      facility.catalog().at("VASP (production)");
+
+  FleetParams fp;
+  fp.node_count = facility.inventory().compute_nodes;
+  const NodeFleet fleet(fp, /*seed=*/2718);
+
+  NodeActivity act;
+  act.load = 1.0;
+  act.pstate = pstates::kHighTurbo;
+  act.app_boost = app.spec().boost;
+  act.power_det_uplift = app.spec().power_det_uplift;
+
+  TextTable t({"BIOS mode", "Mean (W)", "Stddev (W)", "p05 (W)", "p95 (W)",
+               "Fleet total (kW)"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight});
+  for (DeterminismMode mode : {DeterminismMode::kPowerDeterminism,
+                               DeterminismMode::kPerformanceDeterminism}) {
+    act.mode = mode;
+    const Summary s = fleet.power_summary(np, app.profile(), act);
+    t.add_row({to_string(mode), TextTable::num(s.mean, 1),
+               TextTable::num(s.stddev, 1), TextTable::num(s.p05, 1),
+               TextTable::num(s.p95, 1),
+               TextTable::grouped(
+                   fleet.total_power(np, app.profile(), act).kw())});
+  }
+  std::cout << "Ablation: node power distribution, whole fleet running "
+            << app.name() << " at 2.25 GHz + turbo\n"
+            << t.str() << '\n';
+  std::cout << "Paper mechanism (section 4.1, AMD ref [4]): performance "
+               "determinism collapses the silicon-quality power spread to "
+               "the reference part, costing <=1% performance and saving "
+               "6-10% node energy.\n";
+  return 0;
+}

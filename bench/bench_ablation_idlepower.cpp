@@ -1,0 +1,63 @@
+// Ablation: suspending idle nodes.
+//
+// The paper's conclusion: idle nodes draw ~50% of loaded power, so the
+// efficient operating point is ~100% utilisation.  The complementary lever
+// is putting idle nodes into a low-power state.  This harness quantifies
+// the annual saving across utilisation levels and the responsiveness cost
+// (expected extra start latency by job size).
+#include <iostream>
+
+#include "core/facility.hpp"
+#include "power/idle.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+  const Power idle_each = facility.node_params().idle;
+  const std::size_t nodes = facility.inventory().compute_nodes;
+
+  IdlePowerPolicy policy;
+  policy.suspend_enabled = true;
+
+  TextTable t({"Utilisation", "Idle nodes", "Idle draw, no policy (kW)",
+               "Idle draw, suspend (kW)", "Annual saving (MWh)"},
+              {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight});
+  for (double util : {0.80, 0.85, 0.90, 0.95, 0.99}) {
+    const auto idle_nodes = static_cast<std::size_t>(
+        static_cast<double>(nodes) * (1.0 - util));
+    t.add_row(
+        {TextTable::pct(util, 0), TextTable::grouped(
+                                      static_cast<double>(idle_nodes)),
+         TextTable::grouped(
+             (idle_each * static_cast<double>(idle_nodes)).kw()),
+         TextTable::grouped(
+             fleet_idle_power(idle_each, policy, idle_nodes).kw()),
+         TextTable::grouped(
+             annual_idle_saving(idle_each, policy, nodes, util)
+                 .to_mwh())});
+  }
+  std::cout << "Ablation: idle-node suspension (45 W suspended, 70% of "
+               "idle nodes eligible, 3 min wake)\n"
+            << t.str() << '\n';
+
+  TextTable lat({"Job size (nodes)", "Extra start latency at 90% util"},
+                {Align::kRight, Align::kRight});
+  const auto idle_at_90 = static_cast<std::size_t>(
+      static_cast<double>(nodes) * 0.10);
+  for (std::size_t size : {8u, 64u, 128u, 256u, 512u}) {
+    lat.add_row({std::to_string(size),
+                 TextTable::num(expected_extra_start_latency(
+                                    policy, idle_at_90, size)
+                                    .min(),
+                                1) +
+                     " min"});
+  }
+  std::cout << lat.str() << '\n';
+  std::cout << "Reading: at the paper's >90% utilisation the idle fleet is "
+               "small, so suspension saves little on ARCHER2 — which is "
+               "exactly why the paper's levers target *loaded* power. The "
+               "lever matters for facilities running below ~85%.\n";
+  return 0;
+}

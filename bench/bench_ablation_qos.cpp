@@ -1,0 +1,64 @@
+// Ablation: queue discipline (FIFO vs QoS priority + aging).
+//
+// Energy policy is only half the service-quality story: the scheduler
+// decides who waits.  This harness runs the same three simulated weeks
+// under both disciplines and reports wait-time percentiles per QoS class —
+// showing what the priority classes buy (short/debug turnaround,
+// large-scale assembly) and what they cost (low-priority waits).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "util/stats.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+  const SimTime start = sim_time_from_date({2022, 2, 1});
+  const SimTime end = start + Duration::days(21.0);
+
+  auto run = [&](QueueDiscipline discipline) {
+    auto cfg = facility.sim_config(/*seed=*/777);
+    cfg.sched_discipline = discipline;
+    FacilitySimulator sim(facility.catalog(), cfg);
+    sim.run(start - Duration::days(10.0), end);
+    // Wait-hour samples per QoS class (steady-state jobs only).
+    std::map<QosClass, std::vector<double>> waits;
+    for (const auto& r : sim.completed()) {
+      if (r.start_time < start) continue;
+      waits[r.spec.qos].push_back(r.wait_time().hrs());
+    }
+    return waits;
+  };
+
+  const auto fifo = run(QueueDiscipline::kFifo);
+  const auto prio = run(QueueDiscipline::kPriority);
+
+  TextTable t({"QoS class", "Jobs", "FIFO median wait (h)",
+               "FIFO p95 (h)", "Priority median wait (h)",
+               "Priority p95 (h)"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight});
+  for (QosClass q : {QosClass::kShort, QosClass::kStandard,
+                     QosClass::kLargeScale, QosClass::kLowPriority}) {
+    const auto fit = fifo.find(q);
+    const auto pit = prio.find(q);
+    if (fit == fifo.end() || pit == prio.end()) continue;
+    const Summary fs = summarize(fit->second);
+    const Summary ps = summarize(pit->second);
+    t.add_row({to_string(q),
+               TextTable::grouped(static_cast<double>(fs.count)),
+               TextTable::num(fs.median, 2), TextTable::num(fs.p95, 2),
+               TextTable::num(ps.median, 2), TextTable::num(ps.p95, 2)});
+  }
+  std::cout << "Ablation: queue discipline over three simulated weeks "
+               "(same workload, same machine)\n"
+            << t.str() << '\n';
+  std::cout << "Reading: the priority discipline buys short-class "
+               "turnaround and large-scale assembly with low-priority "
+               "wait time; cabinet power is unchanged — scheduling moves "
+               "*who* waits, not *what* the machine draws.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduction harness: §5 conclusions — the three campaign means and the
+// headline savings (210 kW BIOS, 480 kW frequency, 690 kW / 21% total).
+//
+// Runs all three figure campaigns; the slowest harness in the suite.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+  const ScenarioRunner runner(facility);
+  std::cout << render_conclusions(runner.conclusions()) << '\n';
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark): throughput of the hot paths that the
+// facility-scale reproductions depend on — power-model evaluation, the
+// event engine, scheduler passes and changepoint detection.
+#include <benchmark/benchmark.h>
+
+#include "core/facility.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/changepoint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hpcem;
+
+void BM_NodePowerEval(benchmark::State& state) {
+  const Facility facility = Facility::archer2();
+  const ApplicationModel& app = facility.catalog().at("VASP (production)");
+  NodeActivity act;
+  act.mode = DeterminismMode::kPowerDeterminism;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        node_power(facility.node_params(), app.profile(), act));
+  }
+}
+BENCHMARK(BM_NodePowerEval);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SimEngine engine;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule(SimTime(static_cast<double>(i)), [&sum, i] {
+        sum += i;
+      });
+    }
+    engine.run_all();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    SchedulerConfig cfg;
+    cfg.nodes = 1024;
+    Scheduler sched(cfg);
+    Rng rng(7);
+    SimTime now(0.0);
+    JobId id = 1;
+    std::vector<JobId> running;
+    for (int step = 0; step < 200; ++step) {
+      JobSpec j;
+      j.id = id++;
+      j.app = "x";
+      j.nodes = static_cast<std::size_t>(rng.uniform_int(1, 64));
+      j.requested_walltime = Duration::hours(1.0);
+      j.submit_time = now;
+      sched.submit(std::move(j));
+      for (auto& s : sched.schedule_pass(now)) running.push_back(s.job.id);
+      if (running.size() > 16) {
+        sched.finish(running.front(), now);
+        running.erase(running.begin());
+      }
+      now += Duration::minutes(1.0);
+    }
+    benchmark::DoNotOptimize(sched.finished_total());
+  }
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_ChangepointDetect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = (i < n / 2 ? 3220.0 : 3010.0) + rng.normal(0.0, 25.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect_single_step(xs, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangepointDetect)->Arg(4096);
+
+void BM_DragonflyMeanHops(benchmark::State& state) {
+  const Facility facility = Facility::archer2();
+  Rng rng(13);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 64; ++i) {
+    nodes.push_back(static_cast<NodeId>(rng.uniform_int(0, 5859)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facility.fabric().mean_pairwise_hops(nodes));
+  }
+}
+BENCHMARK(BM_DragonflyMeanHops);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduction harness: Table 2 — per-component idle/loaded power draw.
+//
+// The component table is evaluated with every node running the production
+// mix at the baseline configuration (power determinism, 2.25 GHz + turbo),
+// the condition the paper's "loaded" column describes.
+#include <iostream>
+
+#include "core/facility.hpp"
+#include "core/report.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const Facility facility = Facility::archer2();
+
+  NodeActivity loaded;
+  loaded.load = 1.0;
+  loaded.pstate = pstates::kHighTurbo;
+  loaded.mode = DeterminismMode::kPowerDeterminism;
+  // Mix-average boost and determinism uplift for the fleet estimate.
+  loaded.power_det_uplift = facility.catalog().mix_average(
+      [](const ApplicationModel& a) { return a.spec().power_det_uplift; });
+
+  const auto rows = facility.power_model().component_table(loaded);
+  std::cout << render_component_table(rows) << '\n';
+  std::cout << "Compute-cabinet metering boundary share of loaded total "
+               "(paper: ~90%): "
+            << TextTable::pct(facility.power_model().cabinet_share_loaded(),
+                              1)
+            << '\n';
+  return 0;
+}

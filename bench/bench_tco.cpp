@@ -1,0 +1,47 @@
+// Extension harness: lifetime cost of ownership.
+//
+// Quantifies the paper's introduction claim — "lifetime electricity costs
+// now matching or even exceeding the capital costs" — for the modelled
+// facility, and prices the paper's 690 kW saving over the service life.
+#include <iostream>
+
+#include "core/tco.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace hpcem;
+  const TcoModel model{TcoParams{}};
+  std::cout << model.render({0.05, 0.10, 0.15, 0.25, 0.35, 0.50}) << '\n';
+
+  std::cout << "Value of the paper's operational savings (remaining 4-year "
+               "life):\n";
+  TextTable t({"Change", "Power saved", "Value at 0.25 GBP/kWh",
+               "Value at 0.40 GBP/kWh (winter-crisis price)"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  struct Row {
+    const char* label;
+    double kw;
+  };
+  for (const Row& r : {Row{"BIOS determinism change", 210.0},
+                       Row{"frequency default change", 480.0},
+                       Row{"combined", 690.0}}) {
+    t.add_row(
+        {r.label, TextTable::grouped(r.kw) + " kW",
+         "GBP " + TextTable::grouped(
+                      model
+                          .saving_value(Power::kilowatts(r.kw),
+                                        Price::gbp_per_kwh(0.25), 4.0)
+                          .pounds()),
+         "GBP " + TextTable::grouped(
+                      model
+                          .saving_value(Power::kilowatts(r.kw),
+                                        Price::gbp_per_kwh(0.40), 4.0)
+                          .pounds())});
+  }
+  std::cout << t.str() << '\n';
+  std::cout << "Reading: at recent UK commercial prices the two low-risk "
+               "operational changes are worth several million pounds over "
+               "the service life — the paper's cost motivation in "
+               "numbers.\n";
+  return 0;
+}

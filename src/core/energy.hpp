@@ -1,0 +1,45 @@
+// Energy accounting over telemetry: kWh, cost and simple projections.
+#pragma once
+
+#include "grid/carbon.hpp"
+#include "telemetry/timeseries.hpp"
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Result of accounting a power series over a window.
+struct EnergyAccount {
+  Duration span;
+  Energy energy;
+  Power mean_power;
+  Cost cost;
+  CarbonMass scope2;
+};
+
+/// Integrates power telemetry into energy, cost and scope-2 emissions.
+class EnergyAccountant {
+ public:
+  EnergyAccountant(PriceModel price, CarbonIntensitySeries intensity);
+
+  /// Account a kW-valued power channel over its full span.
+  [[nodiscard]] EnergyAccount account(const TimeSeries& power_kw) const;
+
+  /// Account over a sub-window [a, b).
+  [[nodiscard]] EnergyAccount account(const TimeSeries& power_kw, SimTime a,
+                                      SimTime b) const;
+
+  /// Annualised projection from a mean power draw at the series' mean
+  /// carbon intensity and base price (planning estimate).
+  [[nodiscard]] EnergyAccount annualise(Power mean_power) const;
+
+  [[nodiscard]] const CarbonIntensitySeries& intensity() const {
+    return intensity_;
+  }
+  [[nodiscard]] const PriceModel& price() const { return price_; }
+
+ private:
+  PriceModel price_;
+  CarbonIntensitySeries intensity_;
+};
+
+}  // namespace hpcem

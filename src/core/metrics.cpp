@@ -1,0 +1,67 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace hpcem {
+
+ServiceMetrics compute_service_metrics(
+    const std::vector<JobRecord>& records) {
+  require(!records.empty(), "compute_service_metrics: no records");
+  ServiceMetrics m;
+  m.jobs = records.size();
+
+  std::vector<double> waits;
+  std::vector<double> slowdowns;
+  waits.reserve(records.size());
+  slowdowns.reserve(records.size());
+  constexpr double kMinRuntimeSec = 600.0;  // bounded-slowdown floor
+
+  for (const auto& r : records) {
+    const double nh = r.node_hours();
+    m.delivered_node_hours += nh;
+    m.node_energy += r.node_energy;
+    waits.push_back(r.wait_time().hrs());
+    const double runtime = r.runtime().sec();
+    const double wait = r.wait_time().sec();
+    slowdowns.push_back((wait + runtime) /
+                        std::max(runtime, kMinRuntimeSec));
+    m.node_hour_share_by_pstate[to_string(r.pstate)] += nh;
+  }
+  for (auto& [label, nh] : m.node_hour_share_by_pstate) {
+    nh /= m.delivered_node_hours;
+  }
+  m.kwh_per_node_hour = m.node_energy.to_kwh() / m.delivered_node_hours;
+  m.wait_hours = summarize(waits);
+  m.bounded_slowdown = summarize(slowdowns);
+  return m;
+}
+
+std::string render_service_metrics(const ServiceMetrics& m) {
+  TextTable t({"Metric", "Value"}, {Align::kLeft, Align::kRight});
+  t.add_row({"jobs completed",
+             TextTable::grouped(static_cast<double>(m.jobs))});
+  t.add_row({"delivered node-hours",
+             TextTable::grouped(m.delivered_node_hours)});
+  t.add_row({"compute-node energy",
+             TextTable::num(m.node_energy.to_mwh(), 2) + " MWh"});
+  t.add_row({"kWh per delivered node-hour",
+             TextTable::num(m.kwh_per_node_hour, 3)});
+  t.add_row({"median wait", TextTable::num(m.wait_hours.median, 2) + " h"});
+  t.add_row({"p95 wait", TextTable::num(m.wait_hours.p95, 2) + " h"});
+  t.add_row({"median bounded slowdown",
+             TextTable::num(m.bounded_slowdown.median, 2)});
+  t.add_row({"p95 bounded slowdown",
+             TextTable::num(m.bounded_slowdown.p95, 2)});
+  for (const auto& [label, share] : m.node_hour_share_by_pstate) {
+    t.add_row({"node-hours at " + label, TextTable::pct(share, 1)});
+  }
+  std::ostringstream os;
+  os << "Service metrics\n" << t.str();
+  return os.str();
+}
+
+}  // namespace hpcem

@@ -1,0 +1,43 @@
+// Service-level metrics from completed-job accounting records.
+//
+// The paper's operational decisions trade power against service quality;
+// this module computes the quality side from the simulator's (or a real
+// system's sacct-like) records: wait times, bounded slowdown, delivered
+// node-hours, energy per node-hour and the per-P-state breakdown that
+// shows a policy rollout in the accounting data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+#include "workload/jobs.hpp"
+
+namespace hpcem {
+
+/// Aggregate service metrics over a set of completed jobs.
+struct ServiceMetrics {
+  std::size_t jobs = 0;
+  double delivered_node_hours = 0.0;
+  Energy node_energy;
+  /// Compute-node kWh per delivered node-hour (the paper's efficiency
+  /// currency when scope 2 dominates).
+  double kwh_per_node_hour = 0.0;
+  Summary wait_hours;
+  /// Bounded slowdown: (wait + runtime) / max(runtime, 10 min), the
+  /// standard scheduling service metric.
+  Summary bounded_slowdown;
+  /// Node-hour share by the P-state jobs actually ran at.
+  std::map<std::string, double> node_hour_share_by_pstate;
+};
+
+/// Compute metrics over records; throws InvalidArgument on empty input.
+[[nodiscard]] ServiceMetrics compute_service_metrics(
+    const std::vector<JobRecord>& records);
+
+/// Render as a table for reports.
+[[nodiscard]] std::string render_service_metrics(const ServiceMetrics& m);
+
+}  // namespace hpcem

@@ -1,0 +1,143 @@
+#include "core/priorities.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace hpcem {
+
+std::string to_string(ServiceObjective o) {
+  switch (o) {
+    case ServiceObjective::kMaximisePerformance:
+      return "maximise performance";
+    case ServiceObjective::kMinimiseEnergy:
+      return "minimise energy per output";
+    case ServiceObjective::kMinimiseEmissions:
+      return "minimise emissions per output";
+    case ServiceObjective::kMinimiseCost:
+      return "minimise cost per output";
+    case ServiceObjective::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+PriorityAdvisor::PriorityAdvisor(const Facility& facility,
+                                 double utilisation, EmbodiedParams embodied)
+    : facility_(&facility), utilisation_(utilisation), embodied_(embodied) {
+  require(utilisation > 0.0 && utilisation <= 1.0,
+          "PriorityAdvisor: utilisation must be in (0, 1]");
+}
+
+std::vector<PolicyEvaluation> PriorityAdvisor::evaluate(
+    CarbonIntensity intensity, Price price) const {
+  require(intensity.gkwh() >= 0.0,
+          "PriorityAdvisor::evaluate: intensity must be >= 0");
+
+  OperatingPolicy low_no_revert = OperatingPolicy::low_frequency_default();
+  low_no_revert.auto_revert_enabled = false;
+  OperatingPolicy floor = low_no_revert;
+  floor.default_pstate = pstates::kLow;
+  const std::vector<std::pair<std::string, OperatingPolicy>> levers = {
+      {"power determinism, turbo (baseline)", OperatingPolicy::baseline()},
+      {"performance determinism, turbo",
+       OperatingPolicy::performance_determinism()},
+      {"2.0 GHz default, >10% revert",
+       OperatingPolicy::low_frequency_default()},
+      {"2.0 GHz default, no revert", low_no_revert},
+      {"1.5 GHz default, no revert", floor},
+  };
+
+  const double nodes =
+      static_cast<double>(facility_->inventory().compute_nodes);
+  // Hourly scope-3 share: the embodied clock ticks whether or not the
+  // machine computes, so it divides by wall-clock output.
+  const double scope3_g_per_hour =
+      embodied_.annual().g() / (24.0 * 365.25);
+
+  std::vector<PolicyEvaluation> out;
+  for (const auto& [label, policy] : levers) {
+    PolicyEvaluation e;
+    e.label = label;
+    e.policy = policy;
+    e.cabinet = facility_->predicted_cabinet_power(policy, utilisation_);
+    e.mean_slowdown = facility_->mean_slowdown(policy);
+    e.output_per_hour = nodes * utilisation_ / (1.0 + e.mean_slowdown);
+    const Energy hourly = e.cabinet * Duration::hours(1.0);
+    e.kwh_per_output = hourly.to_kwh() / e.output_per_hour;
+    e.gco2_per_output =
+        ((hourly * intensity).g() + scope3_g_per_hour) / e.output_per_hour;
+    e.gbp_per_output = (hourly * price).pounds() / e.output_per_hour;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+const PolicyEvaluation& PriorityAdvisor::recommend(
+    ServiceObjective objective,
+    const std::vector<PolicyEvaluation>& evaluations) const {
+  require(!evaluations.empty(), "PriorityAdvisor::recommend: no levers");
+  auto best_by = [&](auto key) -> const PolicyEvaluation& {
+    return *std::min_element(
+        evaluations.begin(), evaluations.end(),
+        [&](const PolicyEvaluation& a, const PolicyEvaluation& b) {
+          return key(a) < key(b);
+        });
+  };
+  switch (objective) {
+    case ServiceObjective::kMaximisePerformance:
+      return best_by(
+          [](const PolicyEvaluation& e) { return -e.output_per_hour; });
+    case ServiceObjective::kMinimiseEnergy:
+      return best_by(
+          [](const PolicyEvaluation& e) { return e.kwh_per_output; });
+    case ServiceObjective::kMinimiseEmissions:
+      return best_by(
+          [](const PolicyEvaluation& e) { return e.gco2_per_output; });
+    case ServiceObjective::kMinimiseCost:
+      return best_by(
+          [](const PolicyEvaluation& e) { return e.gbp_per_output; });
+    case ServiceObjective::kBalanced:
+      // Energy efficiency with a linear slowdown penalty: a lever must buy
+      // each percent of slowdown with at least a percent of energy.
+      return best_by([](const PolicyEvaluation& e) {
+        return e.kwh_per_output * (1.0 + e.mean_slowdown);
+      });
+  }
+  return evaluations.front();
+}
+
+std::string PriorityAdvisor::render(CarbonIntensity intensity,
+                                    Price price) const {
+  const auto evals = evaluate(intensity, price);
+  TextTable t({"Lever", "Cabinet (kW)", "Slowdown", "Output/h",
+               "kWh/output", "gCO2/output", "GBP/output"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& e : evals) {
+    t.add_row({e.label, TextTable::grouped(e.cabinet.kw()),
+               TextTable::pct(e.mean_slowdown, 1),
+               TextTable::grouped(e.output_per_hour),
+               TextTable::num(e.kwh_per_output, 3),
+               TextTable::num(e.gco2_per_output, 1),
+               TextTable::num(e.gbp_per_output, 3)});
+  }
+  std::ostringstream os;
+  os << "Operating levers at " << TextTable::pct(utilisation_, 0)
+     << " utilisation, " << intensity.gkwh() << " gCO2/kWh, GBP "
+     << price.gbp_kwh() << "/kWh\n"
+     << t.str() << '\n';
+  for (ServiceObjective o :
+       {ServiceObjective::kMaximisePerformance,
+        ServiceObjective::kMinimiseEnergy,
+        ServiceObjective::kMinimiseEmissions,
+        ServiceObjective::kMinimiseCost, ServiceObjective::kBalanced}) {
+    os << "  " << to_string(o) << " -> " << recommend(o, evals).label
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hpcem

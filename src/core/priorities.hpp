@@ -1,0 +1,76 @@
+// Service-priority decision support (paper §5).
+//
+// "To make correct choices about service operations ... services must have
+// a clear understanding of their priorities.  For example, is the goal to
+// maximise energy efficiency, to maximise emissions efficiency, to
+// minimise running costs, to maximise application performance, or to
+// achieve a balance ...?"  This module turns that paragraph into code: it
+// evaluates the standard operating-lever set against each objective and
+// recommends a policy, making the §2 regime logic actionable — on a clean
+// grid the recommendation flips from energy-saving to output-maximising
+// exactly as the paper argues.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/emissions.hpp"
+#include "core/facility.hpp"
+#include "grid/carbon.hpp"
+
+namespace hpcem {
+
+/// What the service is optimising for.
+enum class ServiceObjective {
+  kMaximisePerformance,      ///< most science output per wall-clock hour
+  kMinimiseEnergy,           ///< least kWh per unit of science output
+  kMinimiseEmissions,        ///< least gCO2e per unit (incl. scope 3)
+  kMinimiseCost,             ///< least GBP per unit
+  kBalanced,                 ///< energy efficiency, lightly penalising slowdown
+};
+
+[[nodiscard]] std::string to_string(ServiceObjective o);
+
+/// One operating lever evaluated at fixed utilisation.
+struct PolicyEvaluation {
+  std::string label;
+  OperatingPolicy policy;
+  Power cabinet;             ///< predicted steady-state cabinet draw
+  double mean_slowdown = 0;  ///< mix-average vs the baseline policy
+  /// Reference node-hours of science delivered per wall-clock hour
+  /// (slowdown discounts delivered node-hours into reference output).
+  double output_per_hour = 0;
+  double kwh_per_output = 0;     ///< energy efficiency (lower better)
+  double gco2_per_output = 0;    ///< emissions efficiency incl. scope 3
+  double gbp_per_output = 0;     ///< cost efficiency
+};
+
+/// Evaluates the lever set and recommends per objective.
+class PriorityAdvisor {
+ public:
+  /// `embodied`: amortised scope-3 (for the emissions objective).
+  PriorityAdvisor(const Facility& facility, double utilisation,
+                  EmbodiedParams embodied = {});
+
+  /// Evaluate the standard lever set (baseline, performance determinism,
+  /// 2.0 GHz with revert, 2.0 GHz without revert, 1.5 GHz floor) under a
+  /// grid condition.
+  [[nodiscard]] std::vector<PolicyEvaluation> evaluate(
+      CarbonIntensity intensity, Price price) const;
+
+  /// The winning lever for an objective under a grid condition.
+  [[nodiscard]] const PolicyEvaluation& recommend(
+      ServiceObjective objective,
+      const std::vector<PolicyEvaluation>& evaluations) const;
+
+  /// Render the evaluation matrix plus per-objective recommendations.
+  [[nodiscard]] std::string render(CarbonIntensity intensity,
+                                   Price price) const;
+
+ private:
+  const Facility* facility_;
+  double utilisation_;
+  EmbodiedParams embodied_;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,102 @@
+#include "core/tco.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace hpcem {
+
+TcoModel::TcoModel(TcoParams params) : params_(params) {
+  require(params_.capital.pounds() > 0.0,
+          "TcoModel: capital must be positive");
+  require(params_.lifetime_years > 0.0,
+          "TcoModel: lifetime must be positive");
+  require(params_.mean_facility_power.w() > 0.0,
+          "TcoModel: mean power must be positive");
+  require(params_.annual_support_fraction >= 0.0,
+          "TcoModel: support fraction must be non-negative");
+}
+
+Energy TcoModel::lifetime_energy() const {
+  return params_.mean_facility_power *
+         Duration::days(365.25 * params_.lifetime_years);
+}
+
+Cost TcoModel::lifetime_electricity(Price price) const {
+  require(price.gbp_kwh() >= 0.0,
+          "TcoModel: price must be non-negative");
+  return lifetime_energy() * price;
+}
+
+Cost TcoModel::lifetime_support() const {
+  return Cost::gbp(params_.capital.pounds() *
+                   params_.annual_support_fraction *
+                   params_.lifetime_years);
+}
+
+Cost TcoModel::lifetime_total(Price price) const {
+  return params_.capital + lifetime_support() +
+         lifetime_electricity(price);
+}
+
+Price TcoModel::breakeven_price() const {
+  return Price::gbp_per_kwh(params_.capital.pounds() /
+                            lifetime_energy().to_kwh());
+}
+
+Cost TcoModel::saving_value(Power reduction, Price price,
+                            double remaining_years) const {
+  require(reduction.w() >= 0.0, "TcoModel: reduction must be >= 0");
+  require(remaining_years >= 0.0,
+          "TcoModel: remaining_years must be >= 0");
+  return reduction * Duration::days(365.25 * remaining_years) * price;
+}
+
+TcoScenario TcoModel::scenario(Price price) const {
+  TcoScenario s;
+  s.price = price;
+  s.lifetime_electricity = lifetime_electricity(price);
+  s.lifetime_support = lifetime_support();
+  s.lifetime_total = lifetime_total(price);
+  s.electricity_share =
+      s.lifetime_electricity.pounds() / s.lifetime_total.pounds();
+  return s;
+}
+
+std::vector<TcoScenario> TcoModel::sweep(
+    const std::vector<double>& prices_gbp_per_kwh) const {
+  std::vector<TcoScenario> out;
+  out.reserve(prices_gbp_per_kwh.size());
+  for (double p : prices_gbp_per_kwh) {
+    out.push_back(scenario(Price::gbp_per_kwh(p)));
+  }
+  return out;
+}
+
+std::string TcoModel::render(
+    const std::vector<double>& prices_gbp_per_kwh) const {
+  TextTable t({"Price (GBP/kWh)", "Lifetime electricity (GBP M)",
+               "Capital (GBP M)", "Support (GBP M)", "Total (GBP M)",
+               "Electricity share"},
+              {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight});
+  for (const auto& s : sweep(prices_gbp_per_kwh)) {
+    t.add_row({TextTable::num(s.price.gbp_kwh(), 2),
+               TextTable::num(s.lifetime_electricity.pounds() / 1e6, 1),
+               TextTable::num(params_.capital.pounds() / 1e6, 1),
+               TextTable::num(s.lifetime_support.pounds() / 1e6, 1),
+               TextTable::num(s.lifetime_total.pounds() / 1e6, 1),
+               TextTable::pct(s.electricity_share, 0)});
+  }
+  std::ostringstream os;
+  os << "Lifetime cost of ownership (" << params_.lifetime_years
+     << "-year life, " << TextTable::num(
+            params_.mean_facility_power.mw(), 2)
+     << " MW mean draw)\n"
+     << t.str() << "Electricity matches capital at "
+     << TextTable::num(breakeven_price().gbp_kwh(), 3) << " GBP/kWh.\n";
+  return os.str();
+}
+
+}  // namespace hpcem

@@ -1,0 +1,73 @@
+// Total cost of ownership: capital vs lifetime electricity.
+//
+// The paper's introduction: "Historically, the cost of large scale HPC
+// systems was dominated by the capital cost with the operational
+// electricity costs a small component.  This is no longer true, with
+// lifetime electricity costs now matching or even exceeding the capital
+// costs ... in many countries."  This module quantifies that claim for
+// the modelled facility: lifetime energy spend vs capital outlay, the
+// electricity price at which they cross, and what the paper's operational
+// savings are worth in money over the service life.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Cost-model parameters.
+struct TcoParams {
+  /// Capital cost of the machine (ARCHER2's published contract was
+  /// GBP ~79M; the default is that order).
+  Cost capital = Cost::gbp(79e6);
+  double lifetime_years = 6.0;
+  /// Mean total facility draw (IT x PUE).
+  Power mean_facility_power = Power::megawatts(3.58);
+  /// Annual maintenance/support as a fraction of capital.
+  double annual_support_fraction = 0.05;
+};
+
+/// One row of the price sweep.
+struct TcoScenario {
+  Price price;
+  Cost lifetime_electricity;
+  Cost lifetime_support;
+  Cost lifetime_total;
+  /// Electricity as a share of the lifetime total.
+  double electricity_share = 0.0;
+};
+
+/// Capital/operational cost model for a facility.
+class TcoModel {
+ public:
+  explicit TcoModel(TcoParams params);
+
+  [[nodiscard]] const TcoParams& params() const { return params_; }
+
+  [[nodiscard]] Energy lifetime_energy() const;
+  [[nodiscard]] Cost lifetime_electricity(Price price) const;
+  [[nodiscard]] Cost lifetime_support() const;
+  [[nodiscard]] Cost lifetime_total(Price price) const;
+
+  /// Electricity price at which lifetime electricity equals capital —
+  /// the paper's "matching" point.
+  [[nodiscard]] Price breakeven_price() const;
+
+  /// Money saved over the remaining lifetime by a power reduction.
+  [[nodiscard]] Cost saving_value(Power reduction, Price price,
+                                  double remaining_years) const;
+
+  [[nodiscard]] TcoScenario scenario(Price price) const;
+  [[nodiscard]] std::vector<TcoScenario> sweep(
+      const std::vector<double>& prices_gbp_per_kwh) const;
+
+  [[nodiscard]] std::string render(
+      const std::vector<double>& prices_gbp_per_kwh) const;
+
+ private:
+  TcoParams params_;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,79 @@
+#include "grid/carbon_shift.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+CarbonShiftPlanner::CarbonShiftPlanner(const CarbonIntensitySeries& intensity,
+                                       Duration resolution)
+    : intensity_(&intensity), resolution_(resolution) {
+  require(resolution.sec() > 0.0,
+          "CarbonShiftPlanner: resolution must be positive");
+}
+
+CarbonIntensity CarbonShiftPlanner::mean_over_run(SimTime start,
+                                                  Duration runtime) const {
+  require(runtime.sec() > 0.0,
+          "CarbonShiftPlanner: runtime must be positive");
+  // Sample the series across the run at half-resolution steps; cheap and
+  // adequate for the half-hourly series the grid module produces.
+  const Duration step = resolution_ / 2.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (SimTime t = start; t < start + runtime; t += step) {
+    sum += intensity_->at(t).gkwh();
+    ++n;
+  }
+  HPCEM_ASSERT(n > 0, "mean_over_run sampled nothing");
+  return CarbonIntensity::g_per_kwh(sum / static_cast<double>(n));
+}
+
+ShiftDecision CarbonShiftPlanner::plan(SimTime earliest, Duration runtime,
+                                       Duration horizon) const {
+  require(horizon.sec() >= 0.0,
+          "CarbonShiftPlanner: horizon must be non-negative");
+  ShiftDecision d;
+  d.immediate_intensity = mean_over_run(earliest, runtime);
+  d.start = earliest;
+  d.mean_intensity = d.immediate_intensity;
+  for (SimTime cand = earliest; cand <= earliest + horizon;
+       cand += resolution_) {
+    const CarbonIntensity ci = mean_over_run(cand, runtime);
+    if (ci < d.mean_intensity) {
+      d.mean_intensity = ci;
+      d.start = cand;
+    }
+  }
+  d.saving_fraction =
+      1.0 - d.mean_intensity.gkwh() / d.immediate_intensity.gkwh();
+  return d;
+}
+
+CarbonShiftPlanner::StudyResult CarbonShiftPlanner::study(
+    const std::vector<StudyJob>& jobs, Duration horizon) const {
+  require(!jobs.empty(), "CarbonShiftPlanner::study: no jobs");
+  StudyResult r;
+  double delay_sum_h = 0.0;
+  std::size_t deferrable = 0;
+  for (const auto& j : jobs) {
+    const Energy e = j.mean_power * j.runtime;
+    const CarbonIntensity now_ci = mean_over_run(j.earliest, j.runtime);
+    r.immediate += e * now_ci;
+    if (j.deferrable) {
+      const ShiftDecision d = plan(j.earliest, j.runtime, horizon);
+      r.shifted += e * d.mean_intensity;
+      delay_sum_h += (d.start - j.earliest).hrs();
+      ++deferrable;
+    } else {
+      r.shifted += e * now_ci;
+    }
+  }
+  r.saving_fraction = 1.0 - r.shifted.g() / r.immediate.g();
+  r.mean_delay_hours =
+      deferrable > 0 ? delay_sum_h / static_cast<double>(deferrable) : 0.0;
+  return r;
+}
+
+}  // namespace hpcem

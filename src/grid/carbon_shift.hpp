@@ -1,0 +1,68 @@
+// Carbon-aware temporal shifting of deferrable work.
+//
+// The paper frames facilities as grid citizens whose emissions depend on
+// *when* electricity is drawn (§2-§3).  A natural extension of its
+// operating levers: defer flexible jobs into low-carbon windows (overnight
+// wind, in the UK-shaped model).  The planner evaluates candidate start
+// times over a flexibility horizon against a carbon-intensity series and
+// picks the window with the lowest mean intensity — the standard
+// load-shifting formulation, restricted to the information a batch system
+// actually has (job runtime estimate, forecast intensity).
+#pragma once
+
+#include <vector>
+
+#include "grid/carbon.hpp"
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Outcome of planning one deferrable job.
+struct ShiftDecision {
+  SimTime start;  ///< chosen start (>= earliest)
+  CarbonIntensity mean_intensity;        ///< over the chosen run window
+  CarbonIntensity immediate_intensity;   ///< had it started at `earliest`
+  /// Fractional scope-2 saving vs starting immediately (>= 0).
+  double saving_fraction = 0.0;
+};
+
+/// Plans deferrable work against an intensity series.
+class CarbonShiftPlanner {
+ public:
+  /// `resolution`: granularity of candidate start times.
+  explicit CarbonShiftPlanner(const CarbonIntensitySeries& intensity,
+                              Duration resolution = Duration::minutes(30.0));
+
+  /// Mean intensity over [start, start + runtime).
+  [[nodiscard]] CarbonIntensity mean_over_run(SimTime start,
+                                              Duration runtime) const;
+
+  /// Choose the lowest-carbon start in [earliest, earliest + horizon].
+  /// A zero horizon returns the immediate start.
+  [[nodiscard]] ShiftDecision plan(SimTime earliest, Duration runtime,
+                                   Duration horizon) const;
+
+  /// Aggregate study: scope-2 of a stream of (start, runtime, mean power)
+  /// jobs with and without shifting a deferrable fraction by `horizon`.
+  struct StudyJob {
+    SimTime earliest;
+    Duration runtime;
+    Power mean_power;
+    bool deferrable = true;
+  };
+  struct StudyResult {
+    CarbonMass immediate;
+    CarbonMass shifted;
+    double saving_fraction = 0.0;
+    double mean_delay_hours = 0.0;  ///< over the deferrable jobs
+  };
+  [[nodiscard]] StudyResult study(const std::vector<StudyJob>& jobs,
+                                  Duration horizon) const;
+
+ private:
+  const CarbonIntensitySeries* intensity_;
+  Duration resolution_;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,42 @@
+#include "grid/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+TimeSeries synthetic_site_temperature(const WeatherParams& params,
+                                      SimTime start, SimTime end, Rng rng) {
+  require(end > start, "synthetic_site_temperature: end must follow start");
+  require(params.step.sec() > 0.0,
+          "synthetic_site_temperature: step must be positive");
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  TimeSeries out("degC");
+  double weather = 0.0;
+  const double innovation =
+      params.weather_sigma *
+      std::sqrt(1.0 -
+                params.weather_correlation * params.weather_correlation);
+  for (SimTime t = start; t < end; t += params.step) {
+    const double doy =
+        static_cast<double>(day_of_year(date_from_sim_time(t)));
+    // Warmest around mid-July (doy ~196), coldest mid-January.
+    const double seasonal =
+        params.seasonal_amplitude *
+        std::cos(kTwoPi * (doy - 196.0) / 365.25);
+    const double hour = seconds_into_day(t) / 3600.0;
+    // Warmest mid-afternoon (~15:00).
+    const double diurnal =
+        params.diurnal_amplitude *
+        std::cos(kTwoPi * (hour - 15.0) / 24.0);
+    weather = params.weather_correlation * weather +
+              rng.normal(0.0, innovation);
+    out.append(t, params.annual_mean_c + seasonal + diurnal + weather);
+  }
+  return out;
+}
+
+}  // namespace hpcem

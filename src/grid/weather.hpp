@@ -1,0 +1,29 @@
+// Synthetic outdoor weather for the hosting site.
+//
+// Cooling overhead depends on outdoor conditions: ARCHER2's hosting uses
+// evaporative cooling whose efficiency tracks the (wet-bulb) temperature.
+// This generator produces an Edinburgh-shaped air temperature series —
+// seasonal swing around a ~9 °C annual mean, diurnal cycle, AR(1) weather
+// systems — for the cooling model to consume.
+#pragma once
+
+#include "telemetry/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace hpcem {
+
+/// Parameters of the synthetic site temperature series (degrees Celsius).
+struct WeatherParams {
+  double annual_mean_c = 9.0;       ///< Edinburgh-like
+  double seasonal_amplitude = 6.5;  ///< summer/winter swing
+  double diurnal_amplitude = 3.0;
+  double weather_sigma = 3.0;       ///< AR(1) weather-system scale
+  double weather_correlation = 0.98;
+  Duration step = Duration::hours(1.0);
+};
+
+/// Generate an outdoor temperature series over [start, end).
+[[nodiscard]] TimeSeries synthetic_site_temperature(
+    const WeatherParams& params, SimTime start, SimTime end, Rng rng);
+
+}  // namespace hpcem

@@ -1,0 +1,44 @@
+#include "power/cpu_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+double VfCurve::voltage(Frequency f) const {
+  const double ghz = f.to_ghz();
+  require(ghz > 0.0, "VfCurve::voltage: frequency must be positive");
+  const double v = a + b * ghz + c * ghz * ghz;
+  HPCEM_ASSERT(v > 0.0, "voltage curve must stay positive over valid range");
+  return v;
+}
+
+Frequency effective_frequency(const CpuModelParams& params,
+                              const PState& pstate, DeterminismMode mode,
+                              Frequency app_boost) {
+  require(is_valid_pstate(pstate), "effective_frequency: invalid P-state");
+  require(app_boost.to_ghz() > 0.0,
+          "effective_frequency: app_boost must be positive");
+  if (!pstate.turbo) {
+    // A fixed frequency cap pins the clock; determinism mode only moves
+    // power, not frequency, below the boost ceiling.
+    return pstate.nominal;
+  }
+  // Turbo: the achieved clock is the application's boost level, scaled up
+  // slightly under power determinism.
+  double ghz = app_boost.to_ghz();
+  if (mode == DeterminismMode::kPowerDeterminism) {
+    ghz *= 1.0 + params.power_determinism_boost;
+  }
+  return Frequency::ghz(ghz);
+}
+
+double dvfs_factor(const CpuModelParams& params, Frequency f, Frequency ref) {
+  require(ref.to_ghz() > 0.0, "dvfs_factor: reference must be positive");
+  const double vf = params.vf.voltage(f);
+  const double vr = params.vf.voltage(ref);
+  return (f.to_ghz() * vf * vf) / (ref.to_ghz() * vr * vr);
+}
+
+}  // namespace hpcem

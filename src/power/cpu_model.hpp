@@ -1,0 +1,58 @@
+// DVFS CPU power/frequency model.
+//
+// Dynamic CMOS power scales as f·V(f)²; the voltage-frequency curve is a
+// representative Zen2 fit anchored so that the published ARCHER2
+// application measurements are reproducible (see DESIGN.md §3, calibration
+// anchors).  The model deliberately separates:
+//  * a *core* dynamic component that scales with the core clock (f·V²),
+//  * an *uncore* component (memory controllers, DRAM, Infinity Fabric, NIC)
+//    that is load- but not clock-sensitive,
+// because the paper's Table 4 energy ratios are only explainable with a
+// clock-insensitive share — memory-bound codes keep the DRAM subsystem busy
+// regardless of core frequency.
+#pragma once
+
+#include "power/pstate.hpp"
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Voltage-frequency curve parameters: V(f) = a + b f + c f² (f in GHz).
+/// Defaults are a representative Zen2-class fit through (1.5 GHz, 0.85 V),
+/// (2.0 GHz, 0.95 V) and (2.8 GHz, 1.28 V).
+struct VfCurve {
+  double a = 1.040;
+  double b = -0.372;
+  double c = 0.1635;
+
+  /// Core voltage at frequency `f`.
+  [[nodiscard]] double voltage(Frequency f) const;
+};
+
+/// CPU clocking behaviour of one node type.
+struct CpuModelParams {
+  VfCurve vf{};
+  /// Reference all-core boost frequency reached under the 2.25 GHz + turbo
+  /// P-state in performance-determinism mode.  The paper observed
+  /// applications "typically boost ... to closer to 2.8 GHz".
+  Frequency reference_boost = Frequency::ghz(2.8);
+  /// Additional boost headroom granted by power-determinism mode (better
+  /// silicon runs to the power limit): ~1% extra clock on average, matching
+  /// Table 3's <=1% performance delta.
+  double power_determinism_boost = 0.01;
+};
+
+/// Effective core clock for a P-state and BIOS mode.  App-specific boost
+/// behaviour is applied by scaling `app_boost` (the application's achieved
+/// all-core boost at reference conditions, typically ~2.8 GHz).
+[[nodiscard]] Frequency effective_frequency(const CpuModelParams& params,
+                                            const PState& pstate,
+                                            DeterminismMode mode,
+                                            Frequency app_boost);
+
+/// Dynamic-power scaling factor f·V(f)² normalised to 1.0 at `ref`.
+/// The core component of node power is multiplied by this.
+[[nodiscard]] double dvfs_factor(const CpuModelParams& params, Frequency f,
+                                 Frequency ref);
+
+}  // namespace hpcem

@@ -1,0 +1,65 @@
+#include "power/fleet.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+NodeFleet::NodeFleet(FleetParams params, std::uint64_t seed) {
+  require(params.node_count > 0, "NodeFleet: need at least one node");
+  require(params.silicon_sigma >= 0.0,
+          "NodeFleet: silicon_sigma must be non-negative");
+  require(params.silicon_min > 0.0 &&
+              params.silicon_min <= params.silicon_max,
+          "NodeFleet: bad silicon truncation bounds");
+  Rng rng(seed);
+  silicon_.reserve(params.node_count);
+  for (std::size_t i = 0; i < params.node_count; ++i) {
+    silicon_.push_back(std::clamp(rng.normal(1.0, params.silicon_sigma),
+                                  params.silicon_min, params.silicon_max));
+  }
+}
+
+double NodeFleet::silicon_factor(std::size_t node) const {
+  require(node < silicon_.size(), "NodeFleet: node index out of range");
+  return silicon_[node];
+}
+
+Summary NodeFleet::silicon_summary() const { return summarize(silicon_); }
+
+double NodeFleet::mean_silicon(const std::vector<std::size_t>& nodes) const {
+  require(!nodes.empty(), "NodeFleet::mean_silicon: empty node list");
+  double sum = 0.0;
+  for (std::size_t n : nodes) sum += silicon_factor(n);
+  return sum / static_cast<double>(nodes.size());
+}
+
+std::vector<double> NodeFleet::node_powers_w(
+    const NodePowerParams& node_params, const DynamicPowerProfile& profile,
+    NodeActivity activity) const {
+  std::vector<double> out;
+  out.reserve(silicon_.size());
+  for (double s : silicon_) {
+    activity.silicon_factor = s;
+    out.push_back(node_power(node_params, profile, activity).w());
+  }
+  return out;
+}
+
+Summary NodeFleet::power_summary(const NodePowerParams& node_params,
+                                 const DynamicPowerProfile& profile,
+                                 const NodeActivity& activity) const {
+  const auto powers = node_powers_w(node_params, profile, activity);
+  return summarize(powers);
+}
+
+Power NodeFleet::total_power(const NodePowerParams& node_params,
+                             const DynamicPowerProfile& profile,
+                             const NodeActivity& activity) const {
+  double total = 0.0;
+  for (double w : node_powers_w(node_params, profile, activity)) total += w;
+  return Power::watts(total);
+}
+
+}  // namespace hpcem

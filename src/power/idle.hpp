@@ -1,0 +1,50 @@
+// Idle-node power management.
+//
+// The paper's conclusion flags the structural problem: an idle node still
+// draws ~50% of a loaded node (230 W vs ~510 W), so energy efficiency
+// demands near-100% utilisation.  The complementary lever — not exercised
+// on ARCHER2, modelled here as an ablation — is suspending idle nodes to a
+// low-power state at the cost of a wake-up latency that hurts scheduler
+// responsiveness.  The model quantifies the trade:
+//   * fleet idle power as a function of utilisation and policy;
+//   * the effective extra wait time jobs see when they land on suspended
+//     nodes (wake latency x probability of needing a wake).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Suspend policy for idle nodes.
+struct IdlePowerPolicy {
+  bool suspend_enabled = false;
+  /// Draw of a suspended node (S3-like: fans/BMC only).
+  Power suspended = Power::watts(45.0);
+  /// Fraction of idle nodes eligible for suspension; the rest stay warm as
+  /// a responsiveness buffer for incoming jobs.
+  double suspendable_fraction = 0.7;
+  /// Time to bring a suspended node back to service.
+  Duration wake_latency = Duration::minutes(3.0);
+};
+
+/// Fleet idle draw for `idle_nodes` idle nodes under a policy.
+[[nodiscard]] Power fleet_idle_power(Power idle_each,
+                                     const IdlePowerPolicy& policy,
+                                     std::size_t idle_nodes);
+
+/// Annualised energy saved by the policy at a given utilisation, for a
+/// fleet of `total_nodes`.
+[[nodiscard]] Energy annual_idle_saving(Power idle_each,
+                                        const IdlePowerPolicy& policy,
+                                        std::size_t total_nodes,
+                                        double utilisation);
+
+/// Expected extra start latency a job sees: the probability that its
+/// allocation must wake suspended nodes times the wake latency.  With a
+/// warm buffer of (1 - suspendable_fraction) x idle nodes, jobs needing no
+/// more than the buffer start immediately.
+[[nodiscard]] Duration expected_extra_start_latency(
+    const IdlePowerPolicy& policy, std::size_t idle_nodes,
+    std::size_t job_nodes);
+
+}  // namespace hpcem

@@ -1,0 +1,34 @@
+#include "power/pstate.hpp"
+
+namespace hpcem {
+
+bool is_valid_pstate(const PState& p) {
+  const double ghz = p.nominal.to_ghz();
+  const bool known =
+      ghz == 1.5 || ghz == 2.0 || ghz == 2.25;
+  if (!known) return false;
+  if (p.turbo && ghz != 2.25) return false;
+  return true;
+}
+
+std::string to_string(const PState& p) {
+  std::string s = std::to_string(p.nominal.to_ghz());
+  // Trim trailing zeros from the default double rendering.
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.push_back('0');
+  s += " GHz";
+  if (p.turbo) s += " + turbo";
+  return s;
+}
+
+std::string to_string(DeterminismMode m) {
+  switch (m) {
+    case DeterminismMode::kPowerDeterminism:
+      return "power determinism";
+    case DeterminismMode::kPerformanceDeterminism:
+      return "performance determinism";
+  }
+  return "unknown";
+}
+
+}  // namespace hpcem

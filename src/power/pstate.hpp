@@ -1,0 +1,55 @@
+// CPU P-state selection and BIOS determinism modes, as exposed on the
+// modelled machine (dual AMD EPYC "Rome"-class nodes, ARCHER2 configuration).
+//
+// The paper's two operational levers are exactly these:
+//  * the per-job CPU frequency cap — ARCHER2 exposes 1.5, 2.0 and 2.25 GHz,
+//    and only the 2.25 GHz setting enables turbo boost (§4.2);
+//  * the BIOS choice between AMD Power Determinism and Performance
+//    Determinism (§4.1, AMD reference [4] of the paper).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// A selectable CPU frequency cap.  `turbo` may only be enabled at the
+/// highest nominal frequency, mirroring the ARCHER2 Slurm interface.
+struct PState {
+  Frequency nominal;
+  bool turbo = false;
+
+  friend bool operator==(const PState&, const PState&) = default;
+};
+
+/// The three ARCHER2 P-states.
+namespace pstates {
+inline constexpr PState kLow{Frequency::ghz(1.5), false};
+inline constexpr PState kMid{Frequency::ghz(2.0), false};
+inline constexpr PState kHighTurbo{Frequency::ghz(2.25), true};
+/// 2.25 GHz with boost disabled (not used operationally on ARCHER2 but
+/// useful for ablations separating the cap change from the boost change).
+inline constexpr PState kHighNoTurbo{Frequency::ghz(2.25), false};
+}  // namespace pstates
+
+/// Validate that a PState is one the modelled hardware can express.
+[[nodiscard]] bool is_valid_pstate(const PState& p);
+
+/// Human-readable label, e.g. "2.25 GHz + turbo".
+[[nodiscard]] std::string to_string(const PState& p);
+
+/// AMD BIOS determinism setting (paper §4.1).
+///
+/// Under *power determinism* every part runs to the socket power limit, so
+/// better-binned silicon boosts further and draws more; under *performance
+/// determinism* all parts are clamped to the reference part's performance,
+/// collapsing the per-part power spread downwards at a ~1% performance cost.
+enum class DeterminismMode {
+  kPowerDeterminism,
+  kPerformanceDeterminism,
+};
+
+[[nodiscard]] std::string to_string(DeterminismMode m);
+
+}  // namespace hpcem

@@ -1,0 +1,104 @@
+#include "sched/allocator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+NodeAllocator::NodeAllocator(std::size_t node_count)
+    : node_count_(node_count), free_count_(node_count) {
+  require(node_count > 0, "NodeAllocator: need at least one node");
+  free_.emplace(0, node_count);
+}
+
+std::optional<std::vector<NodeId>> NodeAllocator::allocate(
+    std::size_t count) {
+  require(count > 0, "NodeAllocator::allocate: count must be positive");
+  if (count > free_count_) return std::nullopt;
+
+  std::vector<NodeId> out;
+  out.reserve(count);
+
+  // First fit: the lowest contiguous interval that holds the whole job.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= count) {
+      const NodeId start = it->first;
+      const std::size_t len = it->second;
+      free_.erase(it);
+      if (len > count) free_.emplace(start + count, len - count);
+      for (std::size_t i = 0; i < count; ++i) out.push_back(start + i);
+      free_count_ -= count;
+      return out;
+    }
+  }
+
+  // Fragmented: gather from the lowest intervals upwards.
+  std::size_t remaining = count;
+  while (remaining > 0) {
+    auto it = free_.begin();
+    HPCEM_ASSERT(it != free_.end(), "free list exhausted despite count check");
+    const NodeId start = it->first;
+    const std::size_t take = std::min(it->second, remaining);
+    const std::size_t len = it->second;
+    free_.erase(it);
+    if (len > take) free_.emplace(start + take, len - take);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(start + i);
+    remaining -= take;
+  }
+  free_count_ -= count;
+  return out;
+}
+
+void NodeAllocator::insert_interval(NodeId start, std::size_t len) {
+  HPCEM_ASSERT(len > 0, "empty interval");
+  auto next = free_.lower_bound(start);
+  // Overlap checks: the interval must not intersect neighbours.
+  if (next != free_.end()) {
+    require(start + len <= next->first,
+            "NodeAllocator::release: node already free (double release)");
+  }
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    require(prev->first + prev->second <= start,
+            "NodeAllocator::release: node already free (double release)");
+    // Coalesce with the previous interval when adjacent.
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Coalesce with the next interval when adjacent.
+  next = free_.lower_bound(start);
+  if (next != free_.end() && start + len == next->first) {
+    len += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(start, len);
+}
+
+void NodeAllocator::release(std::span<const NodeId> nodes) {
+  require(!nodes.empty(), "NodeAllocator::release: empty release");
+  // Group the (possibly scattered) node list into runs, then insert each.
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    require(sorted[i] != sorted[i + 1],
+            "NodeAllocator::release: duplicate node in release");
+  }
+  require(sorted.back() < node_count_,
+          "NodeAllocator::release: node out of range");
+
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= sorted.size(); ++i) {
+    if (i == sorted.size() || sorted[i] != sorted[i - 1] + 1) {
+      insert_interval(sorted[run_start], i - run_start);
+      run_start = i;
+    }
+  }
+  free_count_ += nodes.size();
+  HPCEM_ASSERT(free_count_ <= node_count_, "free count exceeds pool");
+}
+
+}  // namespace hpcem

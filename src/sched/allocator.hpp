@@ -1,0 +1,51 @@
+// Node allocation with contiguous-first placement.
+//
+// The allocator hands out node indices for jobs, preferring a single
+// contiguous run (which maps to locality on the dragonfly: consecutive
+// nodes share switches and groups) and falling back to scattered nodes
+// when the pool is fragmented — exactly the behaviour that makes placement
+// quality a function of machine load on real systems.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "interconnect/dragonfly.hpp"
+
+namespace hpcem {
+
+/// Free-list of node indices with interval coalescing.
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(std::size_t node_count);
+
+  /// Allocate `count` nodes; contiguous-first, lowest-index fallback.
+  /// Returns nullopt when fewer than `count` nodes are free.
+  [[nodiscard]] std::optional<std::vector<NodeId>> allocate(
+      std::size_t count);
+
+  /// Return nodes to the pool; double-free is detected and throws.
+  void release(std::span<const NodeId> nodes);
+
+  [[nodiscard]] std::size_t free_count() const { return free_count_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t busy_count() const {
+    return node_count_ - free_count_;
+  }
+
+  /// Number of maximal free intervals (1 when fully defragmented).
+  [[nodiscard]] std::size_t fragment_count() const { return free_.size(); }
+
+ private:
+  void insert_interval(NodeId start, std::size_t len);
+
+  std::size_t node_count_;
+  std::size_t free_count_;
+  /// start -> length, non-overlapping, non-adjacent (coalesced).
+  std::map<NodeId, std::size_t> free_;
+};
+
+}  // namespace hpcem

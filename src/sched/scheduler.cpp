@@ -1,0 +1,155 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(config), allocator_(config.nodes) {}
+
+void Scheduler::submit(JobSpec job) {
+  require(job.nodes >= 1 && job.nodes <= config_.nodes,
+          "Scheduler::submit: job size must fit the machine: " + job.app);
+  require(job.requested_walltime.sec() > 0.0,
+          "Scheduler::submit: walltime must be positive");
+  queue_.push_back(std::move(job));
+}
+
+Scheduler::Shadow Scheduler::shadow_for(std::size_t count,
+                                        SimTime now) const {
+  HPCEM_ASSERT(count <= config_.nodes, "shadow for oversized job");
+  if (allocator_.free_count() >= count) {
+    return {now, allocator_.free_count() - count};
+  }
+  // Sweep running jobs in expected-end order, accumulating freed nodes.
+  std::vector<std::pair<SimTime, std::size_t>> ends;
+  ends.reserve(running_.size());
+  for (const auto& [id, r] : running_) {
+    ends.emplace_back(r.expected_end, r.nodes.size());
+  }
+  std::sort(ends.begin(), ends.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t freed = allocator_.free_count();
+  for (const auto& [end, n] : ends) {
+    freed += n;
+    if (freed >= count) {
+      return {std::max(end, now), freed - count};
+    }
+  }
+  // Unreachable for feasible jobs: all running jobs ending frees the
+  // entire machine, which holds any job that passed submit validation.
+  HPCEM_ASSERT(false, "shadow_for: job can never run");
+  return {now, 0};
+}
+
+double Scheduler::priority_of(const JobSpec& job, SimTime now) const {
+  const PriorityWeights& w = config_.weights;
+  double base = w.standard;
+  switch (job.qos) {
+    case QosClass::kStandard:
+      base = w.standard;
+      break;
+    case QosClass::kShort:
+      base = w.short_qos;
+      break;
+    case QosClass::kLargeScale:
+      base = w.largescale;
+      break;
+    case QosClass::kLowPriority:
+      base = w.lowpriority;
+      break;
+  }
+  const double wait_h = std::max(0.0, (now - job.submit_time).hrs());
+  return base + w.per_wait_hour * wait_h +
+         w.per_node * static_cast<double>(job.nodes);
+}
+
+void Scheduler::order_queue(SimTime now) {
+  if (config_.discipline == QueueDiscipline::kFifo) return;
+  // Stable sort keeps submission order among equal priorities.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [&](const JobSpec& a, const JobSpec& b) {
+                     return priority_of(a, now) > priority_of(b, now);
+                   });
+}
+
+std::vector<JobStart> Scheduler::schedule_pass(SimTime now) {
+  std::vector<JobStart> starts;
+  order_queue(now);
+
+  // Phase 1: start jobs from the head while they fit (in queue order:
+  // submission order under FIFO, priority order otherwise).
+  while (!queue_.empty() && queue_.front().nodes <= allocator_.free_count()) {
+    JobSpec job = std::move(queue_.front());
+    queue_.pop_front();
+    auto nodes = allocator_.allocate(job.nodes);
+    HPCEM_ASSERT(nodes.has_value(), "allocation must succeed after fit check");
+    const JobId id = job.id;
+    const SimTime expected_end = now + job.requested_walltime;
+    running_.emplace(id, Running{*nodes, expected_end});
+    ++started_total_;
+    starts.push_back({std::move(job), std::move(*nodes)});
+  }
+  if (queue_.empty()) return starts;
+
+  // Phase 2: EASY backfill.  The head job gets a shadow reservation; a
+  // later job may start now iff (a) it fits the free nodes, and (b) either
+  // it finishes by the shadow time or it fits into the nodes left over at
+  // the shadow time.
+  const Shadow shadow = shadow_for(queue_.front().nodes, now);
+  std::size_t examined = 0;
+  for (auto it = std::next(queue_.begin());
+       it != queue_.end() && examined < config_.backfill_depth; ++examined) {
+    const std::size_t want = it->nodes;
+    const bool fits_now = want <= allocator_.free_count();
+    if (!fits_now) {
+      ++it;
+      continue;
+    }
+    const bool ends_before_shadow =
+        now + it->requested_walltime <= shadow.time;
+    const bool fits_shadow_slack = want <= shadow.extra_nodes;
+    if (!ends_before_shadow && !fits_shadow_slack) {
+      ++it;
+      continue;
+    }
+    JobSpec job = std::move(*it);
+    it = queue_.erase(it);
+    auto nodes = allocator_.allocate(job.nodes);
+    HPCEM_ASSERT(nodes.has_value(), "backfill allocation must succeed");
+    const JobId id = job.id;
+    running_.emplace(id, Running{*nodes, now + job.requested_walltime});
+    ++started_total_;
+    starts.push_back({std::move(job), std::move(*nodes)});
+  }
+  return starts;
+}
+
+void Scheduler::finish(JobId id, SimTime /*now*/) {
+  auto it = running_.find(id);
+  require_state(it != running_.end(),
+                "Scheduler::finish: job not running: " + std::to_string(id));
+  allocator_.release(it->second.nodes);
+  running_.erase(it);
+  ++finished_total_;
+}
+
+void Scheduler::set_expected_end(JobId id, SimTime end) {
+  auto it = running_.find(id);
+  require_state(it != running_.end(),
+                "Scheduler::set_expected_end: job not running: " +
+                    std::to_string(id));
+  it->second.expected_end = end;
+}
+
+const std::vector<NodeId>& Scheduler::allocation(JobId id) const {
+  auto it = running_.find(id);
+  require_state(it != running_.end(),
+                "Scheduler::allocation: job not running: " +
+                    std::to_string(id));
+  return it->second.nodes;
+}
+
+}  // namespace hpcem

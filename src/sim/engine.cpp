@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+void SimEngine::schedule(SimTime when, std::function<void()> fn) {
+  require(when >= now_, "SimEngine::schedule: cannot schedule in the past");
+  require(static_cast<bool>(fn), "SimEngine::schedule: empty callback");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::schedule_after(Duration delay, std::function<void()> fn) {
+  require(delay.sec() >= 0.0, "SimEngine::schedule_after: negative delay");
+  schedule(now_ + delay, std::move(fn));
+}
+
+void SimEngine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Move the event out before popping so the handler can push safely.
+    Event ev = queue_.top();
+    queue_.pop();
+    HPCEM_ASSERT(ev.time >= now_, "event queue time order");
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (until > now_) now_ = until;
+}
+
+void SimEngine::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    HPCEM_ASSERT(ev.time >= now_, "event queue time order");
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+}  // namespace hpcem

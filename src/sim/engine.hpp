@@ -1,0 +1,56 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic event loop: events carry a timestamp and a
+// callback; ties are broken by insertion order so runs are reproducible.
+// Handlers may schedule further events (at or after the current time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace hpcem {
+
+/// Deterministic discrete-event engine.
+class SimEngine {
+ public:
+  explicit SimEngine(SimTime start = SimTime{0.0}) : now_(start) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Schedule a callback; `when` must not be in the past.
+  void schedule(SimTime when, std::function<void()> fn);
+  void schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Process events with time <= `until`, advancing the clock; events
+  /// scheduled during processing are honoured if they fall in the window.
+  void run_until(SimTime until);
+
+  /// Process every remaining event.
+  void run_all();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return b.time < a.time;
+      return b.seq < a.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hpcem

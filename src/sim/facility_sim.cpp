@@ -1,0 +1,247 @@
+#include "sim/facility_sim.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
+                                     FacilitySimConfig config)
+    : catalog_(&catalog), config_(config), rng_(config.seed) {
+  require(config_.sample_interval.sec() > 0.0,
+          "FacilitySimulator: sample interval must be positive");
+  require(config_.metering_noise_sigma >= 0.0,
+          "FacilitySimulator: noise sigma must be non-negative");
+  SchedulerConfig sched_cfg;
+  sched_cfg.nodes = config_.inventory.compute_nodes;
+  sched_cfg.discipline = config_.sched_discipline;
+  sched_cfg.weights = config_.sched_weights;
+  scheduler_ = std::make_unique<Scheduler>(sched_cfg);
+
+  recorder_.channel(channels::kCabinetKw, "kW");
+  recorder_.channel(channels::kNodeFleetKw, "kW");
+  recorder_.channel(channels::kUtilisation, "fraction");
+  recorder_.channel(channels::kQueueLength, "jobs");
+  recorder_.channel(channels::kRunningJobs, "jobs");
+  recorder_.channel(channels::kSwitchKw, "kW");
+  recorder_.channel(channels::kOverheadKw, "kW");
+}
+
+void FacilitySimulator::schedule_policy_change(SimTime when,
+                                               OperatingPolicy policy) {
+  require_state(!ran_,
+                "schedule_policy_change: must be called before run()");
+  pending_changes_.emplace_back(when, policy);
+}
+
+void FacilitySimulator::run(SimTime start, SimTime end) {
+  run_impl({}, /*use_trace=*/false, start, end);
+}
+
+void FacilitySimulator::run_trace(std::vector<JobSpec> jobs, SimTime start,
+                                  SimTime end) {
+  run_impl(std::move(jobs), /*use_trace=*/true, start, end);
+}
+
+void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
+                                 SimTime start, SimTime end) {
+  require_state(!ran_, "FacilitySimulator::run: may only run once");
+  require(end > start, "FacilitySimulator::run: end must follow start");
+  ran_ = true;
+
+  engine_ = SimEngine(start);
+
+  // Arm the recorded policy changes.
+  for (const auto& [when, policy] : pending_changes_) {
+    if (when >= start && when < end) {
+      engine_.schedule(when, [this, p = policy] { policy_ = p; });
+    }
+  }
+
+  // Arm maintenance reservations.
+  for (const auto& [from, until] : maintenance_) {
+    if (from >= start && from < end) {
+      engine_.schedule(from, [this] { starts_blocked_ = true; });
+    }
+    if (until >= start && until < end) {
+      engine_.schedule(until, [this] {
+        starts_blocked_ = false;
+        start_ready_jobs();  // release the accumulated queue
+      });
+    }
+  }
+
+  if (use_trace) {
+    // Replay an explicit trace: one submit event per in-window job.
+    for (auto& job : trace) {
+      require(catalog_->contains(job.app),
+              "run_trace: unknown application in trace: " + job.app);
+      if (job.submit_time < start || job.submit_time >= end) continue;
+      const SimTime at = job.submit_time;
+      engine_.schedule(at, [this, j = std::move(job)]() mutable {
+        on_submit(std::move(j));
+      });
+    }
+  } else {
+    // Hourly on-the-fly workload generation.  The arrival rate is divided
+    // by the mix-average slowdown of the *current* policy: allocations are
+    // charged in node-hours, so budget-capped users offer a constant
+    // node-hour stream no matter how fast individual jobs run.
+    generator_ = std::make_unique<WorkloadGenerator>(
+        *catalog_, config_.inventory.compute_nodes, config_.gen,
+        rng_.split());
+    for (SimTime t = start; t < end; t += Duration::hours(1.0)) {
+      engine_.schedule(t, [this, t, end] {
+        for (auto& job : generator_->generate_hour(t, demand_scale())) {
+          if (job.submit_time >= end) continue;
+          const SimTime at = job.submit_time;
+          engine_.schedule(at, [this, j = std::move(job)]() mutable {
+            on_submit(std::move(j));
+          });
+        }
+      });
+    }
+  }
+
+  // Telemetry sampling on a fixed cadence.
+  for (SimTime t = start; t < end; t += config_.sample_interval) {
+    engine_.schedule(t, [this] { sample(); });
+  }
+
+  engine_.run_until(end);
+}
+
+void FacilitySimulator::schedule_maintenance(SimTime block_from,
+                                             SimTime end) {
+  require_state(!ran_, "schedule_maintenance: must be called before run()");
+  require(end > block_from,
+          "schedule_maintenance: end must follow block_from");
+  maintenance_.emplace_back(block_from, end);
+}
+
+double FacilitySimulator::demand_scale() const {
+  // Mix-average runtime stretch under the active policy, relative to the
+  // reference conditions the generator's runtimes are expressed in.
+  const double mean_factor =
+      catalog_->mix_average([&](const ApplicationModel& app) {
+        JobSpec probe;
+        const PState ps = policy_.resolve_pstate(app, probe);
+        return app.time_factor(policy_.bios_mode, ps);
+      });
+  HPCEM_ASSERT(mean_factor > 0.0, "mean time factor must be positive");
+  return 1.0 / mean_factor;
+}
+
+void FacilitySimulator::on_submit(JobSpec job) {
+  scheduler_->submit(std::move(job));
+  start_ready_jobs();
+}
+
+void FacilitySimulator::start_ready_jobs() {
+  if (starts_blocked_) return;
+  const SimTime now = engine_.now();
+  for (auto& start : scheduler_->schedule_pass(now)) {
+    const ApplicationModel& app = catalog_->at(start.job.app);
+    const PState pstate = policy_.resolve_pstate(app, start.job);
+    const DeterminismMode mode = policy_.bios_mode;
+
+    const Duration runtime =
+        app.runtime(start.job.ref_runtime, mode, pstate);
+    const Power per_node =
+        app.node_draw(mode, pstate, start.job.silicon_factor);
+    const double fleet_w =
+        per_node.w() * static_cast<double>(start.job.nodes);
+
+    const JobId id = start.job.id;
+    RunningJob rj;
+    rj.record.spec = std::move(start.job);
+    rj.record.start_time = now;
+    rj.record.end_time = now + runtime;
+    rj.record.pstate = pstate;
+    rj.record.mode = mode;
+    rj.record.node_power_w = per_node.w();
+    rj.record.node_energy =
+        Power::watts(fleet_w) * runtime;
+    rj.fleet_power_w = fleet_w;
+
+    busy_node_power_w_ += fleet_w;
+    scheduler_->set_expected_end(id, rj.record.end_time);
+    engine_.schedule(rj.record.end_time, [this, id] { on_finish(id); });
+    running_.emplace(id, std::move(rj));
+  }
+}
+
+void FacilitySimulator::on_finish(JobId id) {
+  auto it = running_.find(id);
+  HPCEM_ASSERT(it != running_.end(), "finish event for unknown job");
+  busy_node_power_w_ -= it->second.fleet_power_w;
+  HPCEM_ASSERT(busy_node_power_w_ > -1.0, "busy power went negative");
+  busy_node_power_w_ = std::max(0.0, busy_node_power_w_);
+  scheduler_->finish(id, engine_.now());
+  completed_.push_back(std::move(it->second.record));
+  running_.erase(it);
+  start_ready_jobs();
+}
+
+Power FacilitySimulator::current_cabinet_power() const {
+  const auto& inv = config_.inventory;
+  const std::size_t busy = scheduler_->busy_nodes();
+  const std::size_t idle = inv.compute_nodes - busy;
+  const double util = scheduler_->utilisation();
+
+  Power nodes = Power::watts(busy_node_power_w_) +
+                config_.node_params.idle * static_cast<double>(idle);
+  Power switches =
+      config_.switch_model.power(util) * static_cast<double>(inv.switches);
+  Power cabinets = config_.cabinet_model.power(util) *
+                   static_cast<double>(inv.cabinets);
+  return nodes + switches + cabinets;
+}
+
+void FacilitySimulator::sample() {
+  const SimTime now = engine_.now();
+  const double noise =
+      1.0 + rng_.normal(0.0, config_.metering_noise_sigma);
+  const Power cab = current_cabinet_power();
+  const std::size_t busy = scheduler_->busy_nodes();
+  const Power node_fleet =
+      Power::watts(busy_node_power_w_) +
+      config_.node_params.idle *
+          static_cast<double>(config_.inventory.compute_nodes - busy);
+
+  recorder_.record(channels::kCabinetKw, now, cab.kw() * noise);
+  recorder_.record(channels::kNodeFleetKw, now, node_fleet.kw() * noise);
+  recorder_.record(channels::kUtilisation, now, scheduler_->utilisation());
+  recorder_.record(channels::kQueueLength, now,
+                   static_cast<double>(scheduler_->queue_length()));
+  recorder_.record(channels::kRunningJobs, now,
+                   static_cast<double>(scheduler_->running_count()));
+  const double util = scheduler_->utilisation();
+  recorder_.record(
+      channels::kSwitchKw, now,
+      (config_.switch_model.power(util) *
+       static_cast<double>(config_.inventory.switches))
+          .kw());
+  recorder_.record(
+      channels::kOverheadKw, now,
+      (config_.cabinet_model.power(util) *
+       static_cast<double>(config_.inventory.cabinets))
+          .kw());
+}
+
+double FacilitySimulator::mean_cabinet_kw(SimTime a, SimTime b) const {
+  return recorder_.channel(channels::kCabinetKw).mean_over(a, b);
+}
+
+double FacilitySimulator::mean_utilisation(SimTime a, SimTime b) const {
+  return recorder_.channel(channels::kUtilisation).mean_over(a, b);
+}
+
+Energy FacilitySimulator::cabinet_energy() const {
+  // The channel is in kW; integrate() returns kW-seconds.
+  const double kws = recorder_.channel(channels::kCabinetKw).integrate();
+  return Energy::kilojoules(kws);
+}
+
+}  // namespace hpcem

@@ -1,0 +1,133 @@
+// Whole-facility simulation: scheduler + workload + power + telemetry.
+//
+// `FacilitySimulator` reproduces the measurement setup behind the paper's
+// Figures 1-3: a full machine running a production job mix at high
+// utilisation, with the cabinet power (compute nodes + switches + cabinet
+// overheads — the paper's metering boundary) sampled on a fixed interval,
+// and operational policy changes (BIOS mode, default CPU frequency) taking
+// effect at scheduled instants for newly started jobs.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "power/facility_power.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/recorder.hpp"
+#include "util/rng.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/policy.hpp"
+
+namespace hpcem {
+
+/// Simulation tunables.
+struct FacilitySimConfig {
+  FacilityInventory inventory{};
+  NodePowerParams node_params{};
+  SwitchPowerModel switch_model{};
+  CabinetOverheadModel cabinet_model{};
+  WorkloadGenParams gen{};
+  /// Queue discipline for the embedded scheduler.
+  QueueDiscipline sched_discipline = QueueDiscipline::kFifo;
+  PriorityWeights sched_weights{};
+  /// Telemetry sampling cadence (the paper's cabinet metering is coarse).
+  Duration sample_interval = Duration::minutes(30.0);
+  /// Multiplicative per-sample metering noise (std dev).
+  double metering_noise_sigma = 0.006;
+  std::uint64_t seed = 0xA2C4E6;
+};
+
+/// Telemetry channel names produced by the simulator.
+namespace channels {
+inline constexpr const char* kCabinetKw = "cabinet_kw";
+inline constexpr const char* kNodeFleetKw = "node_fleet_kw";
+inline constexpr const char* kUtilisation = "utilisation";
+inline constexpr const char* kQueueLength = "queue_length";
+inline constexpr const char* kRunningJobs = "running_jobs";
+inline constexpr const char* kSwitchKw = "switch_kw";
+inline constexpr const char* kOverheadKw = "overhead_kw";
+}  // namespace channels
+
+/// Event-driven facility simulator.
+class FacilitySimulator {
+ public:
+  FacilitySimulator(const AppCatalog& catalog, FacilitySimConfig config);
+
+  /// Policy for jobs started from now on (running jobs keep their settings,
+  /// as on the real service where the frequency is fixed at job launch).
+  void set_policy(const OperatingPolicy& policy) { policy_ = policy; }
+  [[nodiscard]] const OperatingPolicy& policy() const { return policy_; }
+
+  /// Apply a policy at an instant during `run` (recorded now, armed when
+  /// the simulation starts; changes outside the run window are ignored).
+  void schedule_policy_change(SimTime when, OperatingPolicy policy);
+
+  /// Block job starts in [block_from, end): a maintenance reservation.
+  /// Running jobs keep running (the drain), so utilisation decays from
+  /// `block_from` and recovers after `end` — the dips a real facility's
+  /// power timeline shows around maintenance sessions.
+  void schedule_maintenance(SimTime block_from, SimTime end);
+
+  /// Generate the workload and simulate [start, end).  May be called once.
+  void run(SimTime start, SimTime end);
+
+  /// Simulate [start, end) replaying an explicit job trace instead of the
+  /// synthetic generator (e.g. a converted sacct dump; see
+  /// workload/trace.hpp).  Jobs submitted outside the window are ignored.
+  /// May be called once, instead of run().
+  void run_trace(std::vector<JobSpec> jobs, SimTime start, SimTime end);
+
+  [[nodiscard]] const Recorder& telemetry() const { return recorder_; }
+  [[nodiscard]] const std::vector<JobRecord>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Mean cabinet power over a window, kW.
+  [[nodiscard]] double mean_cabinet_kw(SimTime a, SimTime b) const;
+  /// Mean node utilisation over a window.
+  [[nodiscard]] double mean_utilisation(SimTime a, SimTime b) const;
+  /// Cabinet energy over the whole simulated span.
+  [[nodiscard]] Energy cabinet_energy() const;
+
+ private:
+  struct RunningJob {
+    JobRecord record;       ///< filled in progressively
+    double fleet_power_w;   ///< nodes x per-node draw
+  };
+
+  void on_submit(JobSpec job);
+  void on_finish(JobId id);
+  void start_ready_jobs();
+  void sample();
+
+  /// Budget-feedback multiplier on the arrival rate (see run()).
+  [[nodiscard]] double demand_scale() const;
+
+  /// Shared run skeleton; `trace` empty means generate synthetically.
+  void run_impl(std::vector<JobSpec> trace, bool use_trace, SimTime start,
+                SimTime end);
+
+  [[nodiscard]] Power current_cabinet_power() const;
+
+  const AppCatalog* catalog_;
+  FacilitySimConfig config_;
+  OperatingPolicy policy_ = OperatingPolicy::baseline();
+  Rng rng_;
+  SimEngine engine_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  Recorder recorder_;
+  std::vector<std::pair<SimTime, OperatingPolicy>> pending_changes_;
+  std::vector<std::pair<SimTime, SimTime>> maintenance_;
+  bool starts_blocked_ = false;
+  std::unordered_map<JobId, RunningJob> running_;
+  std::vector<JobRecord> completed_;
+  double busy_node_power_w_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace hpcem

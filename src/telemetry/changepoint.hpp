@@ -1,0 +1,84 @@
+// Step-change detection for power telemetry.
+//
+// The paper's Figures 2 and 3 show the cabinet power series stepping down
+// when an operational change rolls out.  The analysis layer recovers the
+// change point and the before/after means directly from the series, which
+// is how a facility operator would verify a deployment took effect.
+//
+// Two detectors are provided:
+//  * `detect_single_step` — exact least-squares segmentation for one step
+//    (scan all split points, minimise total squared error), with a
+//    minimum-segment-length guard.
+//  * `detect_steps` — binary segmentation for multiple steps with a BIC-like
+//    penalty to stop splitting noise.
+//  * `Cusum` — online cumulative-sum drift detector for streaming use.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace hpcem {
+
+/// A detected mean shift at `index` (first sample of the new regime).
+struct StepChange {
+  std::size_t index = 0;
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+  /// Reduction in squared error relative to the no-split model (>= 0).
+  double gain = 0.0;
+
+  [[nodiscard]] double delta() const { return mean_after - mean_before; }
+};
+
+/// Exact single-step segmentation.  Returns nullopt when no split with at
+/// least `min_segment` samples either side improves on the constant model.
+[[nodiscard]] std::optional<StepChange> detect_single_step(
+    std::span<const double> xs, std::size_t min_segment = 8);
+
+/// Binary segmentation for multiple steps.  `penalty` is the minimum
+/// per-split gain expressed as a multiple of the series variance times
+/// log(n) (BIC-flavoured); larger values yield fewer change points.
+[[nodiscard]] std::vector<StepChange> detect_steps(
+    std::span<const double> xs, std::size_t min_segment = 8,
+    double penalty = 3.0);
+
+/// Convenience overloads running on a TimeSeries and reporting times.
+struct TimedStepChange {
+  SimTime time;
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+};
+[[nodiscard]] std::optional<TimedStepChange> detect_single_step(
+    const TimeSeries& ts, std::size_t min_segment = 8);
+
+/// Two-sided CUSUM detector for online drift detection.
+class Cusum {
+ public:
+  /// `target`: reference level; `slack`: allowed drift before accumulation
+  /// (in value units); `threshold`: alarm level for the accumulated sum.
+  Cusum(double target, double slack, double threshold);
+
+  /// Feed one observation; returns true if an alarm fired (and resets).
+  bool add(double x);
+
+  [[nodiscard]] double positive_sum() const { return pos_; }
+  [[nodiscard]] double negative_sum() const { return neg_; }
+  [[nodiscard]] std::size_t alarm_count() const { return alarms_; }
+
+  /// Re-centre on a new target (e.g. after an expected operational change).
+  void retarget(double target);
+
+ private:
+  double target_;
+  double slack_;
+  double threshold_;
+  double pos_ = 0.0;
+  double neg_ = 0.0;
+  std::size_t alarms_ = 0;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,87 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace hpcem {
+
+TimeSeries& Recorder::channel(const std::string& name,
+                              const std::string& unit) {
+  auto it = channels_.find(name);
+  if (it != channels_.end()) {
+    require(it->second.unit() == unit,
+            "Recorder::channel: unit mismatch for existing channel " + name);
+    return it->second;
+  }
+  auto [ins, ok] = channels_.emplace(name, TimeSeries(unit));
+  HPCEM_ASSERT(ok, "channel insertion");
+  return ins->second;
+}
+
+const TimeSeries& Recorder::channel(const std::string& name) const {
+  auto it = channels_.find(name);
+  require_state(it != channels_.end(),
+                "Recorder::channel: no such channel: " + name);
+  return it->second;
+}
+
+bool Recorder::has_channel(const std::string& name) const {
+  return channels_.contains(name);
+}
+
+std::vector<std::string> Recorder::channel_names() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, _] : channels_) names.push_back(name);
+  return names;
+}
+
+void Recorder::record(const std::string& name, SimTime t, double value) {
+  auto it = channels_.find(name);
+  require_state(it != channels_.end(),
+                "Recorder::record: no such channel: " + name);
+  it->second.append(t, value);
+}
+
+std::string Recorder::to_csv() const {
+  CsvWriter w({"time", "channel", "unit", "value"});
+  for (const auto& [name, series] : channels_) {
+    for (const auto& s : series.samples()) {
+      w.add_row({iso_date_time(s.time), name, series.unit(),
+                 TextTable::num(s.value, 6)});
+    }
+  }
+  return w.str();
+}
+
+RollingWindow::RollingWindow(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "RollingWindow: capacity must be >= 1");
+}
+
+void RollingWindow::add(double x) {
+  buf_.push_back(x);
+  sum_ += x;
+  if (buf_.size() > capacity_) {
+    sum_ -= buf_.front();
+    buf_.pop_front();
+  }
+}
+
+double RollingWindow::mean() const {
+  require_state(!buf_.empty(), "RollingWindow::mean: empty window");
+  return sum_ / static_cast<double>(buf_.size());
+}
+
+double RollingWindow::min() const {
+  require_state(!buf_.empty(), "RollingWindow::min: empty window");
+  return *std::min_element(buf_.begin(), buf_.end());
+}
+
+double RollingWindow::max() const {
+  require_state(!buf_.empty(), "RollingWindow::max: empty window");
+  return *std::max_element(buf_.begin(), buf_.end());
+}
+
+}  // namespace hpcem

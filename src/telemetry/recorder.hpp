@@ -1,0 +1,59 @@
+// Multi-channel telemetry recorder and rolling-window statistics.
+//
+// `Recorder` is the facility simulator's sink: named channels ("cabinet_kw",
+// "utilisation", ...) each backed by a TimeSeries, with CSV export matching
+// the layout a real telemetry database dump would have.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+#include "util/csv.hpp"
+
+namespace hpcem {
+
+/// Named collection of telemetry channels.
+class Recorder {
+ public:
+  /// Create (or fetch) a channel with the given unit label.  Re-declaring an
+  /// existing channel with a different unit is an error.
+  TimeSeries& channel(const std::string& name, const std::string& unit);
+
+  /// Fetch an existing channel; throws StateError if absent.
+  [[nodiscard]] const TimeSeries& channel(const std::string& name) const;
+
+  [[nodiscard]] bool has_channel(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> channel_names() const;
+
+  /// Record one sample on a channel that must already exist.
+  void record(const std::string& name, SimTime t, double value);
+
+  /// Export all channels as long-format CSV: time_iso,channel,unit,value.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::map<std::string, TimeSeries> channels_;
+};
+
+/// Fixed-width rolling window over a scalar stream (mean/min/max).
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool full() const { return buf_.size() == capacity_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,67 @@
+#include "telemetry/seasonal.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace hpcem {
+
+std::size_t hour_of_week(SimTime t) {
+  const auto dow = static_cast<std::size_t>(day_of_week(t));
+  const auto hour =
+      static_cast<std::size_t>(seconds_into_day(t) / 3600.0);
+  HPCEM_ASSERT(hour < 24, "hour of day in range");
+  return dow * 24 + hour;
+}
+
+double WeeklyDecomposition::profile_at(SimTime t) const {
+  return profile[hour_of_week(t)];
+}
+
+WeeklyDecomposition decompose_weekly(const TimeSeries& ts) {
+  require(!ts.empty(), "decompose_weekly: empty series");
+  require(ts.span().day() >= 14.0,
+          "decompose_weekly: need at least two weeks of data");
+
+  WeeklyDecomposition d;
+  std::array<double, 168> sums{};
+  RunningStats overall;
+  for (const auto& s : ts.samples()) {
+    const std::size_t bin = hour_of_week(s.time);
+    sums[bin] += s.value;
+    ++d.bin_counts[bin];
+    overall.add(s.value);
+  }
+  d.mean = overall.mean();
+  for (std::size_t i = 0; i < 168; ++i) {
+    // Sparse bins (possible with coarse sampling) fall back to the mean.
+    d.profile[i] = d.bin_counts[i] > 0
+                       ? sums[i] / static_cast<double>(d.bin_counts[i])
+                       : d.mean;
+  }
+
+  RunningStats residual;
+  for (const auto& s : ts.samples()) {
+    residual.add(s.value - d.profile[hour_of_week(s.time)]);
+  }
+  d.residual_stddev = residual.stddev();
+
+  RunningStats weekday, weekend;
+  for (std::size_t i = 0; i < 168; ++i) {
+    (i < 120 ? weekday : weekend).add(d.profile[i]);
+  }
+  d.weekday_weekend_delta = weekday.mean() - weekend.mean();
+  return d;
+}
+
+TimeSeries deseasonalise(const TimeSeries& ts,
+                         const WeeklyDecomposition& d) {
+  TimeSeries out(ts.unit());
+  for (const auto& s : ts.samples()) {
+    out.append(s.time, s.value - d.profile[hour_of_week(s.time)]);
+  }
+  return out;
+}
+
+}  // namespace hpcem

@@ -1,0 +1,46 @@
+// Weekly seasonality decomposition of facility telemetry.
+//
+// The paper's Figure 1 shows noisy cabinet power whose texture comes from
+// the submission cycle (weekday peaks, weekend dips).  This module
+// extracts that structure: a mean weekly profile (168 hourly bins), the
+// deseasonalised residual, and summary measures (weekday/weekend swing,
+// residual noise) that the analysis layer uses both to characterise real
+// telemetry and to validate that the simulator's texture is realistic.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace hpcem {
+
+/// Result of a weekly decomposition.
+struct WeeklyDecomposition {
+  /// Mean value per hour-of-week (0 = Monday 00:00 .. 167 = Sunday 23:00).
+  std::array<double, 168> profile{};
+  /// Number of samples that landed in each bin.
+  std::array<std::size_t, 168> bin_counts{};
+  /// Overall mean of the series.
+  double mean = 0.0;
+  /// Standard deviation of the residual (series minus profile).
+  double residual_stddev = 0.0;
+  /// Mean of weekday bins minus mean of weekend bins.
+  double weekday_weekend_delta = 0.0;
+
+  /// The profile value for an instant.
+  [[nodiscard]] double profile_at(SimTime t) const;
+};
+
+/// Decompose a series into a mean weekly profile plus residual.  Requires
+/// at least two weeks of data so every bin is populated.
+[[nodiscard]] WeeklyDecomposition decompose_weekly(const TimeSeries& ts);
+
+/// Residual series (value minus weekly profile), same timestamps.
+[[nodiscard]] TimeSeries deseasonalise(const TimeSeries& ts,
+                                       const WeeklyDecomposition& d);
+
+/// Hour-of-week index for an instant (0..167, Monday 00:00 = 0).
+[[nodiscard]] std::size_t hour_of_week(SimTime t);
+
+}  // namespace hpcem

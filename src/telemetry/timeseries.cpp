@@ -1,0 +1,128 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+void TimeSeries::append(SimTime time, double value) {
+  if (!samples_.empty()) {
+    require(time >= samples_.back().time,
+            "TimeSeries::append: samples must be time-ordered");
+  }
+  samples_.push_back({time, value});
+}
+
+SimTime TimeSeries::start_time() const {
+  require_state(!samples_.empty(), "TimeSeries::start_time: empty series");
+  return samples_.front().time;
+}
+
+SimTime TimeSeries::end_time() const {
+  require_state(!samples_.empty(), "TimeSeries::end_time: empty series");
+  return samples_.back().time;
+}
+
+Duration TimeSeries::span() const { return end_time() - start_time(); }
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+TimeSeries TimeSeries::slice(SimTime start, SimTime end) const {
+  TimeSeries out(unit_);
+  for (const auto& s : samples_) {
+    if (s.time >= start && s.time < end) out.append(s.time, s.value);
+  }
+  return out;
+}
+
+double TimeSeries::mean_over(SimTime start, SimTime end) const {
+  RunningStats rs;
+  for (const auto& s : samples_) {
+    if (s.time >= start && s.time < end) rs.add(s.value);
+  }
+  require_state(!rs.empty(), "TimeSeries::mean_over: no samples in window");
+  return rs.mean();
+}
+
+double TimeSeries::mean() const {
+  require_state(!samples_.empty(), "TimeSeries::mean: empty series");
+  RunningStats rs;
+  for (const auto& s : samples_) rs.add(s.value);
+  return rs.mean();
+}
+
+Summary TimeSeries::summary() const {
+  const auto vals = values();
+  return summarize(vals);
+}
+
+double TimeSeries::integrate() const {
+  if (samples_.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = (samples_[i].time - samples_[i - 1].time).sec();
+    total += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+  }
+  return total;
+}
+
+double TimeSeries::value_at(SimTime t) const {
+  require_state(!samples_.empty(), "TimeSeries::value_at: empty series");
+  if (t <= samples_.front().time) return samples_.front().value;
+  if (t >= samples_.back().time) return samples_.back().value;
+  // Binary search for the first sample at or after t.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, SimTime when) { return s.time < when; });
+  if (it->time == t) return it->value;
+  const auto prev = it - 1;
+  const double dt = (it->time - prev->time).sec();
+  if (dt <= 0.0) return it->value;
+  const double frac = (t - prev->time).sec() / dt;
+  return prev->value + frac * (it->value - prev->value);
+}
+
+TimeSeries TimeSeries::resample(Duration interval) const {
+  require(interval.sec() > 0.0, "TimeSeries::resample: interval must be > 0");
+  TimeSeries out(unit_);
+  if (samples_.empty()) return out;
+  const SimTime t0 = start_time();
+  const SimTime t1 = end_time();
+  std::size_t idx = 0;
+  for (SimTime bucket = t0; bucket <= t1; bucket += interval) {
+    const SimTime bucket_end = bucket + interval;
+    RunningStats rs;
+    while (idx < samples_.size() && samples_[idx].time < bucket_end) {
+      rs.add(samples_[idx].value);
+      ++idx;
+    }
+    const SimTime centre = bucket + interval / 2.0;
+    out.append(centre, rs.empty() ? value_at(centre) : rs.mean());
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::map(const std::function<double(double)>& f) const {
+  TimeSeries out(unit_);
+  for (const auto& s : samples_) out.append(s.time, f(s.value));
+  return out;
+}
+
+TimeSeries TimeSeries::sum(const TimeSeries& a, const TimeSeries& b) {
+  require(a.size() == b.size(), "TimeSeries::sum: size mismatch");
+  TimeSeries out(a.unit());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    require(a[i].time == b[i].time, "TimeSeries::sum: timestamp mismatch");
+    out.append(a[i].time, a[i].value + b[i].value);
+  }
+  return out;
+}
+
+}  // namespace hpcem

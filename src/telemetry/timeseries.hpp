@@ -1,0 +1,93 @@
+// Time-series container for facility telemetry.
+//
+// A `TimeSeries` is an append-only sequence of (SimTime, value) samples in
+// non-decreasing time order.  It is the interchange type between the
+// simulator (which produces cabinet power samples) and the analysis layer
+// (which computes means over windows, integrates energy, and detects the
+// operational change points the paper's figures show).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// One telemetry sample.
+struct Sample {
+  SimTime time;
+  double value = 0.0;
+};
+
+/// Append-only, time-ordered sample sequence with analysis helpers.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Construct with a unit label used in exports ("kW", "gCO2/kWh", ...).
+  explicit TimeSeries(std::string unit) : unit_(std::move(unit)) {}
+
+  /// Append a sample; `time` must be >= the last appended time.
+  void append(SimTime time, double value);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  [[nodiscard]] std::span<const Sample> samples() const { return samples_; }
+  [[nodiscard]] const std::string& unit() const { return unit_; }
+
+  [[nodiscard]] SimTime start_time() const;
+  [[nodiscard]] SimTime end_time() const;
+  [[nodiscard]] Duration span() const;
+
+  /// Values only, in time order.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Sub-series with start <= t < end.
+  [[nodiscard]] TimeSeries slice(SimTime start, SimTime end) const;
+
+  /// Arithmetic mean of sample values in [start, end); throws if empty.
+  [[nodiscard]] double mean_over(SimTime start, SimTime end) const;
+  /// Mean of all samples; throws if empty.
+  [[nodiscard]] double mean() const;
+  /// Full summary statistics of all sample values.
+  [[nodiscard]] Summary summary() const;
+
+  /// Time-weighted integral interpreting values as a rate (e.g. W -> J).
+  /// Uses trapezoidal integration between samples.
+  [[nodiscard]] double integrate() const;
+
+  /// Convenience for power series in watts: integral as Energy.
+  [[nodiscard]] Energy integrate_power() const {
+    return Energy::joules(integrate());
+  }
+
+  /// Piecewise-linear interpolation at `t`; clamps outside the range.
+  /// Throws on an empty series.
+  [[nodiscard]] double value_at(SimTime t) const;
+
+  /// Resample to a fixed interval by bucket-averaging; buckets with no
+  /// samples take the interpolated value at the bucket centre.
+  [[nodiscard]] TimeSeries resample(Duration interval) const;
+
+  /// Element-wise transform into a new series (same timestamps).
+  [[nodiscard]] TimeSeries map(
+      const std::function<double(double)>& f) const;
+
+  /// Sum of two series sampled at identical timestamps.
+  [[nodiscard]] static TimeSeries sum(const TimeSeries& a,
+                                      const TimeSeries& b);
+
+ private:
+  std::string unit_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hpcem

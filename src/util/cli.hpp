@@ -1,0 +1,52 @@
+// Minimal command-line argument parsing for the tools/ binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` options with
+// declared defaults, plus automatic `--help` text.  Deliberately tiny: the
+// tools need a dozen options, not a framework.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpcem {
+
+/// Declarative CLI option set.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Declare a string option with a default.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declare a boolean flag (defaults to false; present = true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv.  Returns false (after printing usage) on --help or on an
+  /// unknown/malformed option.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+  /// Error description when parse returned false (empty for --help).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace hpcem

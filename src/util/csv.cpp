@@ -1,0 +1,134 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("CSV column not found: " + std::string(name));
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quote in CSV line");
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+std::string csv_quote(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      auto cells = split_csv_line(line);
+      if (first) {
+        table.header = std::move(cells);
+        first = false;
+      } else {
+        if (cells.size() != table.header.size()) {
+          throw ParseError("CSV row width mismatch: expected " +
+                           std::to_string(table.header.size()) + ", got " +
+                           std::to_string(cells.size()));
+        }
+        table.rows.push_back(std::move(cells));
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open CSV file: " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter: header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "CsvWriter::add_row: row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_quote(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_quote(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write CSV file: " + path.string());
+  out << str();
+  if (!out) throw ParseError("I/O error writing CSV file: " + path.string());
+}
+
+}  // namespace hpcem

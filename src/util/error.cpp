@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace hpcem::detail {
+
+void assert_fail(const char* expr, const std::string& msg,
+                 const std::source_location& loc) {
+  std::ostringstream os;
+  os << "hpcem internal invariant violated: (" << expr << ") at "
+     << loc.file_name() << ':' << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace hpcem::detail

@@ -1,0 +1,64 @@
+// Error handling primitives for the hpcem library.
+//
+// The library throws `hpcem::Error` (or a subclass) for all recoverable
+// precondition violations; internal invariants use HPCEM_ASSERT which is
+// active in all build types (the cost is negligible next to simulation work
+// and silent state corruption is far more expensive than a branch).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hpcem {
+
+/// Base class for all exceptions thrown by the hpcem library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes an argument outside a function's domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation is attempted on an object in the wrong state
+/// (e.g. sampling a simulator that has not been started).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed external input (CSV traces, config files).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const std::string& msg,
+                              const std::source_location& loc);
+}  // namespace detail
+
+/// Validate a caller-supplied precondition; throws InvalidArgument on failure.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+/// Validate object state; throws StateError on failure.
+inline void require_state(bool cond, const std::string& msg) {
+  if (!cond) throw StateError(msg);
+}
+
+}  // namespace hpcem
+
+/// Internal invariant check: active in every build type.
+#define HPCEM_ASSERT(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::hpcem::detail::assert_fail(#expr, (msg),                      \
+                                   std::source_location::current());  \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,181 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every stochastic component in hpcem draws from an `Rng` that is seeded
+// explicitly; two runs with the same seed produce bit-identical telemetry.
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64, which is the conventional pairing: splitmix64 decorrelates
+// low-entropy seeds, xoshiro256** provides the long-period stream.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+/// splitmix64 step: used for seeding and for cheap hash-style mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic random stream with the distribution helpers the simulator
+/// needs.  Satisfies UniformRandomBitGenerator so it can also be handed to
+/// <random> adaptors if callers prefer.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the stream.  Identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value (xoshiro256** step).
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream (for per-component generators).
+  /// Mixing the raw next value through splitmix64 decorrelates the child
+  /// from the parent's future output.
+  [[nodiscard]] Rng split() {
+    std::uint64_t s = (*this)();
+    return Rng(splitmix64(s));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+    const auto span_sz =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;  // hi==lo -> 1
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span_sz;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return lo + static_cast<std::int64_t>(v % span_sz);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached second deviate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * m;
+    has_cached_ = true;
+    return u * m;
+  }
+
+  /// Normal with explicit mean and standard deviation.
+  double normal(double mean, double stddev) {
+    require(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal parameterised by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    require(rate > 0.0, "Rng::exponential: rate must be positive");
+    double u = uniform();
+    // uniform() can return exactly 0; log(0) is -inf.
+    while (u == 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) {
+    require(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p must be in [0,1]");
+    return uniform() < p;
+  }
+
+  /// Sample an index from an unnormalised non-negative weight vector.
+  std::size_t discrete(std::span<const double> weights) {
+    require(!weights.empty(), "Rng::discrete: weights must be non-empty");
+    double total = 0.0;
+    for (double w : weights) {
+      require(w >= 0.0, "Rng::discrete: weights must be non-negative");
+      total += w;
+    }
+    require(total > 0.0, "Rng::discrete: weights must not all be zero");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;  // floating-point edge: land on last bucket
+  }
+  std::size_t discrete(std::initializer_list<double> weights) {
+    return discrete(std::span<const double>(weights.begin(), weights.size()));
+  }
+
+  /// Poisson-distributed count (Knuth's method; fine for small means, which
+  /// is the job-arrival regime we use it in).
+  std::uint64_t poisson(double mean) {
+    require(mean >= 0.0, "Rng::poisson: mean must be non-negative");
+    if (mean == 0.0) return 0;
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,94 @@
+// Simulation time and a minimal civil calendar.
+//
+// The paper's figures are labelled with calendar months ("Dec 2021 – Apr
+// 2022"); the simulator works in seconds since an epoch.  `SimTime` is the
+// scalar clock, `CivilDate` converts to/from year-month-day using the
+// standard days-from-civil algorithm (Howard Hinnant's public-domain
+// formulation), which is exact over the Gregorian calendar.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace hpcem {
+
+/// Seconds since the simulation epoch (1970-01-01 00:00 UTC).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds_since_epoch)
+      : t_(seconds_since_epoch) {}
+
+  [[nodiscard]] constexpr double sec() const { return t_; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.t_ + d.sec()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.t_ - d.sec()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::seconds(a.t_ - b.t_);
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  SimTime& operator+=(Duration d) {
+    t_ += d.sec();
+    return *this;
+  }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// Gregorian calendar date.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend constexpr auto operator<=>(const CivilDate&,
+                                    const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (negative before the epoch).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& d);
+
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days);
+
+/// Midnight UTC at the start of the given civil date.
+[[nodiscard]] SimTime sim_time_from_date(const CivilDate& d);
+
+/// Civil date containing the given simulation instant.
+[[nodiscard]] CivilDate date_from_sim_time(SimTime t);
+
+/// Seconds into the day (0 .. 86400) of the given instant.
+[[nodiscard]] double seconds_into_day(SimTime t);
+
+/// Day of week, 0 = Monday .. 6 = Sunday.
+[[nodiscard]] int day_of_week(SimTime t);
+
+/// Day of year, 1-based.
+[[nodiscard]] int day_of_year(const CivilDate& d);
+
+/// True for leap years.
+[[nodiscard]] bool is_leap_year(int year);
+
+/// Three-letter English month abbreviation ("Jan".."Dec").
+[[nodiscard]] std::string month_abbrev(int month);
+
+/// "Dec 2021" style label for figure axes.
+[[nodiscard]] std::string month_year_label(const CivilDate& d);
+
+/// ISO "YYYY-MM-DD" rendering.
+[[nodiscard]] std::string iso_date(const CivilDate& d);
+
+/// "YYYY-MM-DD hh:mm" rendering of an instant.
+[[nodiscard]] std::string iso_date_time(SimTime t);
+
+}  // namespace hpcem

@@ -1,0 +1,166 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  require_state(n_ > 0, "RunningStats::mean on empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  require_state(n_ > 0, "RunningStats::min on empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  require_state(n_ > 0, "RunningStats::max on empty accumulator");
+  return max_;
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  require(!sorted.empty(), "percentile_sorted: empty input");
+  require(q >= 0.0 && q <= 1.0, "percentile_sorted: q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  s.count = xs.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p05 = percentile_sorted(sorted, 0.05);
+  s.p25 = percentile_sorted(sorted, 0.25);
+  s.median = percentile_sorted(sorted, 0.50);
+  s.p75 = percentile_sorted(sorted, 0.75);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  return s;
+}
+
+double mean_of(std::span<const double> xs) {
+  require(!xs.empty(), "mean_of: empty input");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  require(xs.size() == ws.size() && !xs.empty(),
+          "weighted_mean: inputs must be equal-length and non-empty");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    require(ws[i] >= 0.0, "weighted_mean: weights must be non-negative");
+    num += xs[i] * ws[i];
+    den += ws[i];
+  }
+  require(den > 0.0, "weighted_mean: total weight must be positive");
+  return num / den;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size() && xs.size() >= 2,
+          "fit_line: need >=2 paired samples");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  require(denom != 0.0, "fit_line: x values are all identical");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    f.r2 = 1.0;  // y is constant and the fit is exact
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+      ss_res += e * e;
+    }
+    f.r2 = std::max(0.0, 1.0 - ss_res / ss_tot);
+  }
+  return f;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  require(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0,1]");
+}
+
+double Ewma::add(double x) {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+  return value_;
+}
+
+}  // namespace hpcem

@@ -1,0 +1,91 @@
+// Streaming and batch statistics used by the telemetry analysis pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcem {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  /// Sample (Bessel-corrected) variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: order statistics plus moments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a full summary of `xs` (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile of `sorted` (q in [0,1]); requires a
+/// sorted, non-empty input.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Arithmetic mean; requires non-empty input.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Weighted mean; requires equal non-zero lengths and positive total weight.
+[[nodiscard]] double weighted_mean(std::span<const double> xs,
+                                   std::span<const double> ws);
+
+/// Least-squares line fit y = a + b x over paired samples.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Exponentially weighted moving average filter.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight given to each new observation.
+  explicit Ewma(double alpha);
+  double add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace hpcem

@@ -1,0 +1,19 @@
+#include "workload/jobs.hpp"
+
+namespace hpcem {
+
+std::string to_string(QosClass q) {
+  switch (q) {
+    case QosClass::kStandard:
+      return "standard";
+    case QosClass::kShort:
+      return "short";
+    case QosClass::kLargeScale:
+      return "largescale";
+    case QosClass::kLowPriority:
+      return "lowpriority";
+  }
+  return "unknown";
+}
+
+}  // namespace hpcem

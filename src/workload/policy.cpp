@@ -1,0 +1,37 @@
+#include "workload/policy.hpp"
+
+namespace hpcem {
+
+bool OperatingPolicy::auto_reverts(const ApplicationModel& app) const {
+  if (!auto_revert_enabled) return false;
+  if (default_pstate == pstates::kHighTurbo) return false;
+  return app.expected_slowdown(bios_mode, default_pstate) > revert_threshold;
+}
+
+PState OperatingPolicy::resolve_pstate(const ApplicationModel& app,
+                                       const JobSpec& job) const {
+  if (job.user_pstate) return *job.user_pstate;
+  if (auto_reverts(app)) return pstates::kHighTurbo;
+  return default_pstate;
+}
+
+OperatingPolicy OperatingPolicy::baseline() {
+  OperatingPolicy p;
+  p.bios_mode = DeterminismMode::kPowerDeterminism;
+  p.default_pstate = pstates::kHighTurbo;
+  return p;
+}
+
+OperatingPolicy OperatingPolicy::performance_determinism() {
+  OperatingPolicy p = baseline();
+  p.bios_mode = DeterminismMode::kPerformanceDeterminism;
+  return p;
+}
+
+OperatingPolicy OperatingPolicy::low_frequency_default() {
+  OperatingPolicy p = performance_determinism();
+  p.default_pstate = pstates::kMid;
+  return p;
+}
+
+}  // namespace hpcem

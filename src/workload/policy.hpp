@@ -1,0 +1,44 @@
+// Service operating policy: the paper's two levers plus the opt-out rule.
+//
+// §4.2 of the paper: after the default CPU frequency moved to 2.0 GHz,
+// (a) users could still pin a frequency per job, and (b) applications with
+// an expected slowdown above 10% had their module setup reset the frequency
+// to 2.25 GHz + turbo automatically.  `resolve_pstate` encodes exactly that
+// resolution order: user choice > service auto-revert > service default.
+#pragma once
+
+#include "power/pstate.hpp"
+#include "workload/app_model.hpp"
+#include "workload/jobs.hpp"
+
+namespace hpcem {
+
+/// System-wide operating configuration at a point in time.
+struct OperatingPolicy {
+  /// BIOS determinism mode (fleet-wide; §4.1).
+  DeterminismMode bios_mode = DeterminismMode::kPowerDeterminism;
+  /// Default CPU frequency for jobs that express no preference (§4.2).
+  PState default_pstate = pstates::kHighTurbo;
+  /// Whether the service auto-reverts badly-affected applications.
+  bool auto_revert_enabled = true;
+  /// Expected-slowdown threshold for the auto-revert (paper: >10%).
+  double revert_threshold = 0.10;
+
+  /// The P-state a job actually runs at under this policy.
+  [[nodiscard]] PState resolve_pstate(const ApplicationModel& app,
+                                      const JobSpec& job) const;
+
+  /// True if the service would auto-revert this application.
+  [[nodiscard]] bool auto_reverts(const ApplicationModel& app) const;
+
+  /// The ARCHER2 service baseline (to May 2022): power determinism,
+  /// 2.25 GHz + turbo default.
+  [[nodiscard]] static OperatingPolicy baseline();
+  /// After the §4.1 change: performance determinism, turbo default.
+  [[nodiscard]] static OperatingPolicy performance_determinism();
+  /// After the §4.2 change (Dec 2022 service default): performance
+  /// determinism and a 2.0 GHz default with the >10% auto-revert.
+  [[nodiscard]] static OperatingPolicy low_frequency_default();
+};
+
+}  // namespace hpcem

@@ -1,0 +1,66 @@
+#include "workload/surrogate.hpp"
+
+#include "util/error.hpp"
+
+namespace hpcem {
+
+SurrogateStudy::SurrogateStudy(const ApplicationModel& original,
+                               SurrogateSpec spec, std::size_t nodes,
+                               Duration reference_runtime)
+    : original_(&original),
+      spec_(std::move(spec)),
+      nodes_(nodes),
+      reference_runtime_(reference_runtime) {
+  require(nodes_ > 0, "SurrogateStudy: nodes must be positive");
+  require(reference_runtime_.sec() > 0.0,
+          "SurrogateStudy: runtime must be positive");
+  require(spec_.node_hour_ratio > 0.0 && spec_.node_hour_ratio < 1.0,
+          "SurrogateStudy: node_hour_ratio must be in (0, 1)");
+  require(spec_.power_factor > 0.0,
+          "SurrogateStudy: power_factor must be positive");
+  require(spec_.coverage > 0.0 && spec_.coverage <= 1.0,
+          "SurrogateStudy: coverage must be in (0, 1]");
+  require(spec_.training_energy.j() >= 0.0,
+          "SurrogateStudy: training energy must be non-negative");
+  require(saving_per_run().j() > 0.0,
+          "SurrogateStudy: surrogate must save energy per run (check "
+          "node_hour_ratio x power_factor < 1)");
+}
+
+Energy SurrogateStudy::original_run_energy() const {
+  return original_->job_energy(nodes_, reference_runtime_,
+                               DeterminismMode::kPerformanceDeterminism,
+                               pstates::kHighTurbo);
+}
+
+Energy SurrogateStudy::surrogate_run_energy() const {
+  const Energy original = original_run_energy();
+  // The replaced share runs in node_hour_ratio of the node-hours at
+  // power_factor times the draw; the remainder is untouched numerics.
+  const Energy replaced = original * spec_.coverage * spec_.node_hour_ratio *
+                          spec_.power_factor;
+  const Energy untouched = original * (1.0 - spec_.coverage);
+  return replaced + untouched;
+}
+
+Energy SurrogateStudy::saving_per_run() const {
+  return original_run_energy() - surrogate_run_energy();
+}
+
+double SurrogateStudy::break_even_runs() const {
+  return spec_.training_energy / saving_per_run();
+}
+
+SurrogateStudy::Campaign SurrogateStudy::campaign(
+    std::size_t runs, CarbonIntensity intensity) const {
+  require(runs > 0, "SurrogateStudy::campaign: runs must be positive");
+  Campaign c;
+  c.original = original_run_energy() * static_cast<double>(runs);
+  c.surrogate = surrogate_run_energy() * static_cast<double>(runs) +
+                spec_.training_energy;
+  c.saving_fraction = 1.0 - c.surrogate / c.original;
+  c.scope2_saved = (c.original - c.surrogate) * intensity;
+  return c;
+}
+
+}  // namespace hpcem

@@ -1,0 +1,75 @@
+// AI surrogate replacement study.
+//
+// The paper's conclusions name this future work: "looking at the impact on
+// energy and emissions efficiency of replacing parts of modelling
+// applications by AI-based approaches".  The model: a trained surrogate
+// replaces some fraction of a simulation campaign's runs, executing the
+// same science question in far fewer node-hours but at a higher power
+// density, after a one-off training cost.  The planner answers the
+// operator's questions: energy per run, break-even run count where the
+// training energy amortises, and campaign-level energy/emissions savings.
+#pragma once
+
+#include <string>
+
+#include "grid/carbon.hpp"
+#include "workload/app_model.hpp"
+
+namespace hpcem {
+
+/// A surrogate for (part of) an application's work.
+struct SurrogateSpec {
+  std::string name;
+  /// Node-hours per run relative to the original application (<< 1).
+  double node_hour_ratio = 0.05;
+  /// Node power while running the surrogate, relative to the original's
+  /// loaded draw (dense inference kernels run hot).
+  double power_factor = 1.2;
+  /// Fraction of each run's work the surrogate can replace (the remainder
+  /// still runs the original numerics, e.g. for validation/refinement).
+  double coverage = 0.8;
+  /// One-off training energy.
+  Energy training_energy = Energy::mwh(20.0);
+};
+
+/// Per-run and campaign-level comparison of original vs surrogate.
+class SurrogateStudy {
+ public:
+  /// `reference_runtime`/`nodes`: the geometry of one original run at
+  /// reference conditions.
+  SurrogateStudy(const ApplicationModel& original, SurrogateSpec spec,
+                 std::size_t nodes, Duration reference_runtime);
+
+  /// Energy of one pure-numerics run (reference conditions).
+  [[nodiscard]] Energy original_run_energy() const;
+  /// Energy of one surrogate-accelerated run (coverage replaced, the rest
+  /// original), excluding training.
+  [[nodiscard]] Energy surrogate_run_energy() const;
+  /// Energy saved per run (>= 0 for sensible specs).
+  [[nodiscard]] Energy saving_per_run() const;
+
+  /// Runs needed before the training energy is paid back; infinity-like
+  /// large value is impossible here because construction validates that
+  /// the surrogate saves energy per run.
+  [[nodiscard]] double break_even_runs() const;
+
+  /// Campaign totals including training.
+  struct Campaign {
+    Energy original;
+    Energy surrogate;  ///< incl. training
+    double saving_fraction = 0.0;
+    CarbonMass scope2_saved;
+  };
+  [[nodiscard]] Campaign campaign(std::size_t runs,
+                                  CarbonIntensity intensity) const;
+
+  [[nodiscard]] const SurrogateSpec& spec() const { return spec_; }
+
+ private:
+  const ApplicationModel* original_;
+  SurrogateSpec spec_;
+  std::size_t nodes_;
+  Duration reference_runtime_;
+};
+
+}  // namespace hpcem

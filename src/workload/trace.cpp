@@ -1,0 +1,115 @@
+#include "workload/trace.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace hpcem {
+
+namespace {
+
+double parse_double(const std::string& s, const char* field) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw ParseError(std::string("job trace: bad ") + field + ": " + s);
+  }
+  return v;
+}
+
+std::string pstate_code(const PState& p) {
+  return TextTable::num(p.nominal.to_ghz(), 2) + (p.turbo ? "+turbo" : "");
+}
+
+PState parse_pstate(const std::string& s) {
+  const bool turbo = s.ends_with("+turbo");
+  const std::string num = turbo ? s.substr(0, s.size() - 6) : s;
+  PState p{Frequency::ghz(parse_double(num, "pstate")), turbo};
+  if (!is_valid_pstate(p)) throw ParseError("job trace: bad pstate: " + s);
+  return p;
+}
+
+}  // namespace
+
+std::string jobs_to_csv(const std::vector<JobSpec>& jobs) {
+  CsvWriter w({"id", "app", "nodes", "ref_runtime_s", "submit_s",
+               "walltime_s", "user_pstate", "silicon"});
+  for (const auto& j : jobs) {
+    w.add_row({std::to_string(j.id), j.app, std::to_string(j.nodes),
+               TextTable::num(j.ref_runtime.sec(), 3),
+               TextTable::num(j.submit_time.sec(), 3),
+               TextTable::num(j.requested_walltime.sec(), 3),
+               j.user_pstate ? pstate_code(*j.user_pstate) : "",
+               TextTable::num(j.silicon_factor, 6)});
+  }
+  return w.str();
+}
+
+std::vector<JobSpec> jobs_from_csv(const std::string& text) {
+  const CsvTable t = parse_csv(text);
+  const std::size_t c_id = t.column("id");
+  const std::size_t c_app = t.column("app");
+  const std::size_t c_nodes = t.column("nodes");
+  const std::size_t c_ref = t.column("ref_runtime_s");
+  const std::size_t c_sub = t.column("submit_s");
+  const std::size_t c_wall = t.column("walltime_s");
+  const std::size_t c_ps = t.column("user_pstate");
+  const std::size_t c_sil = t.column("silicon");
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    JobSpec j;
+    j.id = static_cast<JobId>(parse_double(row[c_id], "id"));
+    j.app = row[c_app];
+    j.nodes = static_cast<std::size_t>(parse_double(row[c_nodes], "nodes"));
+    if (j.nodes == 0) throw ParseError("job trace: zero-node job");
+    j.ref_runtime =
+        Duration::seconds(parse_double(row[c_ref], "ref_runtime_s"));
+    j.submit_time = SimTime(parse_double(row[c_sub], "submit_s"));
+    j.requested_walltime =
+        Duration::seconds(parse_double(row[c_wall], "walltime_s"));
+    if (!row[c_ps].empty()) j.user_pstate = parse_pstate(row[c_ps]);
+    j.silicon_factor = parse_double(row[c_sil], "silicon");
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void write_jobs_file(const std::filesystem::path& path,
+                     const std::vector<JobSpec>& jobs) {
+  const std::string text = jobs_to_csv(jobs);
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write jobs file: " + path.string());
+  out << text;
+  if (!out) throw ParseError("I/O error writing jobs file: " + path.string());
+}
+
+std::vector<JobSpec> read_jobs_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open jobs file: " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return jobs_from_csv(buf.str());
+}
+
+std::string records_to_csv(const std::vector<JobRecord>& recs) {
+  CsvWriter w({"id", "app", "nodes", "submit", "start", "end", "pstate",
+               "mode", "node_energy_kwh", "node_power_w", "node_hours"});
+  for (const auto& r : recs) {
+    w.add_row({std::to_string(r.spec.id), r.spec.app,
+               std::to_string(r.spec.nodes),
+               iso_date_time(r.spec.submit_time), iso_date_time(r.start_time),
+               iso_date_time(r.end_time), pstate_code(r.pstate),
+               to_string(r.mode), TextTable::num(r.node_energy.to_kwh(), 3),
+               TextTable::num(r.node_power_w, 1),
+               TextTable::num(r.node_hours(), 3)});
+  }
+  return w.str();
+}
+
+}  // namespace hpcem

@@ -1,0 +1,120 @@
+// Tests for the efficiency analyzer (Tables 3/4 harness + advisor).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/efficiency.hpp"
+#include "core/facility.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+class EfficiencyTest : public ::testing::Test {
+ protected:
+  Facility f_ = Facility::archer2();
+  EfficiencyAnalyzer analyzer_{f_.catalog()};
+};
+
+TEST_F(EfficiencyTest, Table4RowsMatchPaperWithinRounding) {
+  const auto rows = analyzer_.table4();
+  ASSERT_EQ(rows.size(), 7u);
+  for (const auto& r : rows) {
+    ASSERT_TRUE(r.paper.has_value()) << r.app;
+    EXPECT_NEAR(r.perf_ratio, r.paper->perf_ratio, 0.006) << r.app;
+    EXPECT_NEAR(r.energy_ratio, r.paper->energy_ratio, 0.006) << r.app;
+    EXPECT_EQ(r.nodes, r.paper->nodes);
+  }
+}
+
+TEST_F(EfficiencyTest, Table4SpansThePaperRanges) {
+  // Paper: energy savings 7-20%, perf loss 5-26%.
+  const auto rows = analyzer_.table4();
+  double min_perf = 1.0, max_perf = 0.0, min_e = 1.0, max_e = 0.0;
+  for (const auto& r : rows) {
+    min_perf = std::min(min_perf, r.perf_ratio);
+    max_perf = std::max(max_perf, r.perf_ratio);
+    min_e = std::min(min_e, r.energy_ratio);
+    max_e = std::max(max_e, r.energy_ratio);
+  }
+  EXPECT_NEAR(min_perf, 0.74, 0.01);
+  EXPECT_NEAR(max_perf, 0.95, 0.01);
+  EXPECT_NEAR(min_e, 0.80, 0.01);
+  EXPECT_NEAR(max_e, 0.93, 0.01);
+}
+
+TEST_F(EfficiencyTest, Table3RowsMatchPaperWithinRounding) {
+  const auto rows = analyzer_.table3();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    ASSERT_TRUE(r.paper.has_value()) << r.app;
+    EXPECT_NEAR(r.energy_ratio, r.paper->energy_ratio, 0.006) << r.app;
+    // Performance impact "1% or less".
+    EXPECT_GE(r.perf_ratio, 0.985) << r.app;
+    EXPECT_LE(r.perf_ratio, 1.001) << r.app;
+  }
+}
+
+TEST_F(EfficiencyTest, CompareArbitraryOperatingPoints) {
+  const auto row = analyzer_.compare(
+      "LAMMPS Ethanol", 4,
+      {DeterminismMode::kPerformanceDeterminism, pstates::kHighTurbo},
+      {DeterminismMode::kPerformanceDeterminism, pstates::kLow},
+      std::nullopt);
+  // 1.5 GHz on a compute-bound code: brutal slowdown.
+  EXPECT_LT(row.perf_ratio, 0.6);
+  EXPECT_FALSE(row.paper.has_value());
+  EXPECT_THROW(analyzer_.compare("No Such App", 1, {}, {}, std::nullopt),
+               InvalidArgument);
+}
+
+TEST_F(EfficiencyTest, FrequencySweepCoversAllPStates) {
+  const auto sweep = analyzer_.frequency_sweep("VASP CdTe");
+  ASSERT_EQ(sweep.size(), 4u);
+  // Reference point (turbo) must be exactly neutral.
+  const auto& turbo = sweep.back();
+  EXPECT_EQ(turbo.pstate, pstates::kHighTurbo);
+  EXPECT_DOUBLE_EQ(turbo.perf_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(turbo.energy_ratio, 1.0);
+  // Power must be monotone in the sweep order (low .. turbo).
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].node_power_w, sweep[i - 1].node_power_w);
+  }
+  // Output per kWh is the inverse of energy-to-solution.
+  for (const auto& p : sweep) {
+    EXPECT_NEAR(p.output_per_kwh_ratio * p.energy_ratio, 1.0, 1e-9);
+  }
+}
+
+TEST_F(EfficiencyTest, RecommendationIsTheSweepEnergyArgmin) {
+  for (const char* app : {"VASP CdTe", "LAMMPS Ethanol", "CASTEP Al Slab",
+                          "Nektar++ TGV 128 DoF"}) {
+    const auto sweep = analyzer_.frequency_sweep(app);
+    const auto best = std::min_element(
+        sweep.begin(), sweep.end(),
+        [](const FrequencyPoint& a, const FrequencyPoint& b) {
+          return a.energy_ratio < b.energy_ratio;
+        });
+    EXPECT_EQ(analyzer_.recommend_pstate(app), best->pstate) << app;
+  }
+}
+
+TEST_F(EfficiencyTest, SlowdownCapRestrictsTheChoice) {
+  // With the paper's 10% slowdown cap, VASP (5% at 2.0) picks 2.0 GHz.
+  const PState capped = analyzer_.recommend_pstate("VASP CdTe", 0.10);
+  EXPECT_EQ(capped, pstates::kMid);
+  // LAMMPS (26% at 2.0, 21% at 2.25-no-turbo) must stay at turbo.
+  const PState lammps = analyzer_.recommend_pstate("LAMMPS Ethanol", 0.10);
+  EXPECT_EQ(lammps, pstates::kHighTurbo);
+  // A loose cap frees LAMMPS to downclock.
+  const PState loose = analyzer_.recommend_pstate("LAMMPS Ethanol", 0.50);
+  EXPECT_NE(loose, pstates::kHighTurbo);
+}
+
+TEST_F(EfficiencyTest, ImpossibleCapThrows) {
+  EXPECT_THROW(analyzer_.recommend_pstate("LAMMPS Ethanol", -0.5),
+               StateError);
+}
+
+}  // namespace
+}  // namespace hpcem

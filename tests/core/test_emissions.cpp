@@ -1,0 +1,137 @@
+// Tests for the scope-2/scope-3 emissions model (paper §2).
+#include <gtest/gtest.h>
+
+#include "core/emissions.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+EmissionsModel archer2_model() {
+  return EmissionsModel(EmbodiedParams{}, Power::kilowatts(3220.0 / 0.9));
+}
+
+TEST(Emissions, AnnualScope3IsAmortisedEmbodied) {
+  const auto m = archer2_model();
+  EXPECT_NEAR(m.annual_scope3().t(), 10000.0 / 6.0, 1e-6);
+}
+
+TEST(Emissions, AnnualScope2ScalesLinearlyWithIntensity) {
+  const auto m = archer2_model();
+  const double at100 =
+      m.annual_scope2(CarbonIntensity::g_per_kwh(100.0)).t();
+  const double at200 =
+      m.annual_scope2(CarbonIntensity::g_per_kwh(200.0)).t();
+  EXPECT_NEAR(at200, 2.0 * at100, 1e-6);
+  // ~3.58 MW * 8766 h = ~31.4 GWh; at 100 g/kWh ~ 3,137 t.
+  EXPECT_NEAR(at100, 3137.0, 50.0);
+}
+
+TEST(Emissions, CrossoverInsidePaperBalancedBand) {
+  // The §2 consistency requirement: scope2 == scope3 between 30 and 100
+  // gCO2/kWh for a machine of this scale.
+  const auto m = archer2_model();
+  const double crossover = m.crossover_intensity().gkwh();
+  EXPECT_GT(crossover, 30.0);
+  EXPECT_LT(crossover, 100.0);
+  EXPECT_NEAR(m.scope2_share(m.crossover_intensity()), 0.5, 1e-6);
+}
+
+TEST(Emissions, SharesAreMonotoneInIntensity) {
+  const auto m = archer2_model();
+  double prev = -1.0;
+  for (double g : {0.0, 10.0, 30.0, 55.0, 100.0, 200.0, 400.0}) {
+    const double share = m.scope2_share(CarbonIntensity::g_per_kwh(g));
+    EXPECT_GT(share, prev);
+    EXPECT_GE(share, 0.0);
+    EXPECT_LT(share, 1.0);
+    prev = share;
+  }
+}
+
+TEST(Emissions, StrategyRecommendationsMatchPaperLogic) {
+  const auto m = archer2_model();
+  // Zero-carbon grid: embodied dominates -> maximise performance.
+  EXPECT_EQ(m.recommend(CarbonIntensity::g_per_kwh(5.0)),
+            OperationalStrategy::kMaximisePerformance);
+  // Near the crossover: balance.
+  EXPECT_EQ(m.recommend(m.crossover_intensity()),
+            OperationalStrategy::kBalance);
+  // UK-2022-like intensity: energy efficiency wins.
+  EXPECT_EQ(m.recommend(CarbonIntensity::g_per_kwh(200.0)),
+            OperationalStrategy::kMaximiseEnergyEfficiency);
+}
+
+TEST(Emissions, ScenarioRowsAreConsistent) {
+  const auto m = archer2_model();
+  const auto rows = m.sweep({0, 30, 55, 100, 200});
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.scope2_share,
+                r.annual_scope2.g() /
+                    (r.annual_scope2.g() + r.annual_scope3.g()),
+                1e-9);
+    EXPECT_EQ(r.regime, classify_regime(r.intensity));
+    EXPECT_EQ(r.strategy, m.recommend(r.intensity));
+  }
+  EXPECT_EQ(rows[0].strategy, OperationalStrategy::kMaximisePerformance);
+  EXPECT_EQ(rows[4].strategy,
+            OperationalStrategy::kMaximiseEnergyEfficiency);
+}
+
+TEST(Emissions, LifetimeTotalAddsEmbodiedAndOperational) {
+  const auto m = archer2_model();
+  const CarbonIntensity ci = CarbonIntensity::g_per_kwh(200.0);
+  const double expected =
+      10000.0 + m.annual_scope2(ci).t() * 6.0;
+  EXPECT_NEAR(m.lifetime_total(ci).t(), expected, 1.0);
+}
+
+TEST(Emissions, GramsPerNodeHour) {
+  const auto m = archer2_model();
+  // 5,860 nodes at 90% utilisation deliver ~46.2 M node-hours/year.
+  const double node_hours = 5860.0 * 0.9 * 24.0 * 365.25;
+  const double g = m.grams_per_node_hour(CarbonIntensity::g_per_kwh(200.0),
+                                         node_hours);
+  // Total annual ~ 6274 + 1667 t -> ~172 g/nodeh.
+  EXPECT_NEAR(g, 172.0, 15.0);
+  EXPECT_THROW(m.grams_per_node_hour(CarbonIntensity::g_per_kwh(200.0),
+                                     0.0),
+               InvalidArgument);
+}
+
+TEST(Emissions, InvalidConstructionThrows) {
+  EXPECT_THROW(EmissionsModel(EmbodiedParams{CarbonMass::tonnes(0.0), 6.0},
+                              Power::kilowatts(3000.0)),
+               InvalidArgument);
+  EXPECT_THROW(
+      EmissionsModel(EmbodiedParams{CarbonMass::tonnes(100.0), 0.0},
+                     Power::kilowatts(3000.0)),
+      InvalidArgument);
+  EXPECT_THROW(EmissionsModel(EmbodiedParams{}, Power::watts(0.0)),
+               InvalidArgument);
+}
+
+TEST(Emissions, StrategyLabels) {
+  EXPECT_NE(to_string(OperationalStrategy::kMaximisePerformance).find(
+                "performance"),
+            std::string::npos);
+  EXPECT_NE(to_string(OperationalStrategy::kMaximiseEnergyEfficiency)
+                .find("energy"),
+            std::string::npos);
+}
+
+TEST(Emissions, EnergyEfficiencyReducesScope2Share) {
+  // After the paper's changes the machine draws 21% less: at any fixed
+  // intensity the scope-2 share must fall.
+  const EmissionsModel before(EmbodiedParams{},
+                              Power::kilowatts(3220.0 / 0.9));
+  const EmissionsModel after(EmbodiedParams{},
+                             Power::kilowatts(2530.0 / 0.9));
+  const CarbonIntensity ci = CarbonIntensity::g_per_kwh(150.0);
+  EXPECT_LT(after.scope2_share(ci), before.scope2_share(ci));
+  EXPECT_LT(after.lifetime_total(ci).t(), before.lifetime_total(ci).t());
+}
+
+}  // namespace
+}  // namespace hpcem

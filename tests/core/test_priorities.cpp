@@ -1,0 +1,119 @@
+// Tests for the service-priority advisor (§5 decision logic).
+#include <gtest/gtest.h>
+
+#include "core/priorities.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+class PrioritiesTest : public ::testing::Test {
+ protected:
+  Facility f_ = Facility::archer2();
+  PriorityAdvisor advisor_{f_, 0.91};
+  Price price_ = Price::gbp_per_kwh(0.25);
+};
+
+TEST_F(PrioritiesTest, EvaluatesTheFullLeverSet) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  ASSERT_EQ(evals.size(), 5u);
+  // Cabinet power strictly decreasing down the lever list.
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_LT(evals[i].cabinet.w(), evals[i - 1].cabinet.w())
+        << evals[i].label;
+    EXPECT_GE(evals[i].mean_slowdown, evals[i - 1].mean_slowdown - 1e-9);
+  }
+}
+
+TEST_F(PrioritiesTest, PerformanceObjectivePicksBaseline) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  const auto& best = advisor_.recommend(
+      ServiceObjective::kMaximisePerformance, evals);
+  EXPECT_EQ(best.policy.bios_mode, DeterminismMode::kPowerDeterminism);
+  EXPECT_EQ(best.policy.default_pstate, pstates::kHighTurbo);
+}
+
+TEST_F(PrioritiesTest, EnergyObjectivePicksADownclockedLever) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  const auto& best =
+      advisor_.recommend(ServiceObjective::kMinimiseEnergy, evals);
+  EXPECT_NE(best.policy.default_pstate, pstates::kHighTurbo);
+}
+
+TEST_F(PrioritiesTest, EmissionsRecommendationFlipsWithTheGrid) {
+  // The §2 regime logic, end to end: on a very clean grid the embodied
+  // share dominates and the best emissions-per-output lever is a
+  // performance-oriented one; on a dirty grid it is energy-oriented.
+  const auto clean =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(5.0), price_);
+  const auto dirty =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(300.0), price_);
+  const auto& clean_best =
+      advisor_.recommend(ServiceObjective::kMinimiseEmissions, clean);
+  const auto& dirty_best =
+      advisor_.recommend(ServiceObjective::kMinimiseEmissions, dirty);
+  EXPECT_EQ(clean_best.policy.default_pstate, pstates::kHighTurbo);
+  EXPECT_NE(dirty_best.policy.default_pstate, pstates::kHighTurbo);
+  EXPECT_GT(clean_best.mean_slowdown + 0.02, 0.0);  // sanity
+}
+
+TEST_F(PrioritiesTest, CostFollowsEnergyAtFixedPrice) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  const auto& energy_best =
+      advisor_.recommend(ServiceObjective::kMinimiseEnergy, evals);
+  const auto& cost_best =
+      advisor_.recommend(ServiceObjective::kMinimiseCost, evals);
+  EXPECT_EQ(energy_best.label, cost_best.label);
+}
+
+TEST_F(PrioritiesTest, BalancedPenalisesHeavySlowdowns) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  const auto& balanced =
+      advisor_.recommend(ServiceObjective::kBalanced, evals);
+  // Balanced must not pick the 1.5 GHz floor (its slowdown is severe).
+  EXPECT_NE(balanced.policy.default_pstate, pstates::kLow);
+}
+
+TEST_F(PrioritiesTest, OutputAccountsForSlowdown) {
+  const auto evals =
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(100.0), price_);
+  // Baseline output = nodes * utilisation; slower levers deliver less.
+  EXPECT_NEAR(evals[0].output_per_hour, 5860.0 * 0.91, 5.0);
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_LT(evals[i].output_per_hour, evals[0].output_per_hour + 1e-9);
+  }
+}
+
+TEST_F(PrioritiesTest, RenderShowsMatrixAndRecommendations) {
+  const std::string s =
+      advisor_.render(CarbonIntensity::g_per_kwh(55.0), price_);
+  EXPECT_NE(s.find("baseline"), std::string::npos);
+  EXPECT_NE(s.find("maximise performance ->"), std::string::npos);
+  EXPECT_NE(s.find("balanced ->"), std::string::npos);
+}
+
+TEST_F(PrioritiesTest, ValidationErrors) {
+  EXPECT_THROW(PriorityAdvisor(f_, 0.0), InvalidArgument);
+  EXPECT_THROW(PriorityAdvisor(f_, 1.5), InvalidArgument);
+  EXPECT_THROW(
+      advisor_.evaluate(CarbonIntensity::g_per_kwh(-1.0), price_),
+      InvalidArgument);
+  EXPECT_THROW(
+      advisor_.recommend(ServiceObjective::kBalanced, {}),
+      InvalidArgument);
+}
+
+TEST(ServiceObjectiveLabels, AllDistinct) {
+  EXPECT_NE(to_string(ServiceObjective::kMinimiseEnergy),
+            to_string(ServiceObjective::kMinimiseEmissions));
+  EXPECT_NE(to_string(ServiceObjective::kBalanced),
+            to_string(ServiceObjective::kMinimiseCost));
+}
+
+}  // namespace
+}  // namespace hpcem

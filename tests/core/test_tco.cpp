@@ -1,0 +1,97 @@
+// Tests for the total-cost-of-ownership model.
+#include <gtest/gtest.h>
+
+#include "core/tco.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(Tco, LifetimeEnergyArithmetic) {
+  const TcoModel m{TcoParams{}};
+  // 3.58 MW x 6 years ~ 188 GWh.
+  EXPECT_NEAR(m.lifetime_energy().to_mwh(), 3.58 * 24.0 * 365.25 * 6.0,
+              100.0);
+}
+
+TEST(Tco, ElectricityScalesLinearlyWithPrice) {
+  const TcoModel m{TcoParams{}};
+  const double at10 =
+      m.lifetime_electricity(Price::gbp_per_kwh(0.10)).pounds();
+  const double at30 =
+      m.lifetime_electricity(Price::gbp_per_kwh(0.30)).pounds();
+  EXPECT_NEAR(at30, 3.0 * at10, 1.0);
+}
+
+TEST(Tco, PaperIntroClaimHoldsAtRecentUkPrices) {
+  // "lifetime electricity costs now matching or even exceeding the capital
+  // costs": at 2022-like UK commercial prices (>= ~0.30 GBP/kWh) lifetime
+  // electricity must reach the GBP 79M capital, and the break-even price
+  // must be below that level.
+  const TcoModel m{TcoParams{}};
+  EXPECT_LT(m.breakeven_price().gbp_kwh(), 0.45);
+  EXPECT_GT(m.breakeven_price().gbp_kwh(), 0.20);
+  EXPECT_GT(m.lifetime_electricity(Price::gbp_per_kwh(0.45)).pounds(),
+            79e6);
+}
+
+TEST(Tco, TotalsDecompose) {
+  const TcoModel m{TcoParams{}};
+  const Price p = Price::gbp_per_kwh(0.25);
+  const TcoScenario s = m.scenario(p);
+  EXPECT_NEAR(s.lifetime_total.pounds(),
+              79e6 + s.lifetime_support.pounds() +
+                  s.lifetime_electricity.pounds(),
+              1.0);
+  EXPECT_GT(s.electricity_share, 0.0);
+  EXPECT_LT(s.electricity_share, 1.0);
+  // Support: 5% x 6 years = 30% of capital.
+  EXPECT_NEAR(s.lifetime_support.pounds(), 0.30 * 79e6, 1.0);
+}
+
+TEST(Tco, SavingValueOfThePaperChanges) {
+  const TcoModel m{TcoParams{}};
+  // 690 kW for 4 remaining years at 0.25 GBP/kWh ~ GBP 6.0M.
+  const Cost saved = m.saving_value(Power::kilowatts(690.0),
+                                    Price::gbp_per_kwh(0.25), 4.0);
+  EXPECT_NEAR(saved.pounds(), 690.0 * 24.0 * 365.25 * 4.0 * 0.25, 1e3);
+  EXPECT_GT(saved.pounds(), 5e6);
+}
+
+TEST(Tco, SweepSharesMonotoneInPrice) {
+  const TcoModel m{TcoParams{}};
+  const auto rows = m.sweep({0.05, 0.15, 0.30, 0.50});
+  double prev = -1.0;
+  for (const auto& r : rows) {
+    EXPECT_GT(r.electricity_share, prev);
+    prev = r.electricity_share;
+  }
+}
+
+TEST(Tco, RenderMentionsBreakeven) {
+  const TcoModel m{TcoParams{}};
+  const std::string s = m.render({0.10, 0.30});
+  EXPECT_NE(s.find("Electricity matches capital"), std::string::npos);
+  EXPECT_NE(s.find("Electricity share"), std::string::npos);
+}
+
+TEST(Tco, Validation) {
+  TcoParams bad;
+  bad.capital = Cost::gbp(0.0);
+  EXPECT_THROW(TcoModel{bad}, InvalidArgument);
+  bad = {};
+  bad.lifetime_years = 0.0;
+  EXPECT_THROW(TcoModel{bad}, InvalidArgument);
+  bad = {};
+  bad.mean_facility_power = Power::watts(0.0);
+  EXPECT_THROW(TcoModel{bad}, InvalidArgument);
+  const TcoModel m{TcoParams{}};
+  EXPECT_THROW(m.lifetime_electricity(Price::gbp_per_kwh(-0.1)),
+               InvalidArgument);
+  EXPECT_THROW(m.saving_value(Power::watts(-1.0),
+                              Price::gbp_per_kwh(0.1), 1.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

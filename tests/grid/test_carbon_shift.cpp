@@ -1,0 +1,127 @@
+// Tests for the carbon-aware temporal shifting planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "grid/carbon_shift.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+/// A clean diurnal intensity: trough at 04:00, peak at 16:00.
+CarbonIntensitySeries diurnal_series(SimTime start, Duration span) {
+  TimeSeries ts("gCO2/kWh");
+  for (SimTime t = start; t < start + span; t += Duration::minutes(30.0)) {
+    const double hour = seconds_into_day(t) / 3600.0;
+    ts.append(t, 200.0 +
+                     100.0 * std::sin(2.0 * std::numbers::pi *
+                                      (hour - 10.0) / 24.0));
+  }
+  return CarbonIntensitySeries(std::move(ts));
+}
+
+class ShiftTest : public ::testing::Test {
+ protected:
+  SimTime start_ = sim_time_from_date({2022, 11, 1});
+  CarbonIntensitySeries ci_ = diurnal_series(start_, Duration::days(7.0));
+  CarbonShiftPlanner planner_{ci_};
+};
+
+TEST_F(ShiftTest, ZeroHorizonStartsImmediately) {
+  const SimTime noon = start_ + Duration::hours(12.0);
+  const ShiftDecision d =
+      planner_.plan(noon, Duration::hours(2.0), Duration::hours(0.0));
+  EXPECT_DOUBLE_EQ(d.start.sec(), noon.sec());
+  EXPECT_DOUBLE_EQ(d.saving_fraction, 0.0);
+}
+
+TEST_F(ShiftTest, EveningJobShiftsIntoTheOvernightTrough) {
+  // A 2-hour job submitted at 14:00 with a 24 h horizon should move to
+  // the ~04:00 trough next morning.
+  const SimTime submit = start_ + Duration::hours(14.0);
+  const ShiftDecision d =
+      planner_.plan(submit, Duration::hours(2.0), Duration::hours(24.0));
+  const double start_hour = seconds_into_day(d.start) / 3600.0;
+  EXPECT_GT(d.saving_fraction, 0.3);
+  EXPECT_GT(start_hour, 1.0);
+  EXPECT_LT(start_hour, 6.0);
+  EXPECT_LT(d.mean_intensity.gkwh(), d.immediate_intensity.gkwh());
+}
+
+TEST_F(ShiftTest, NightJobBarelyMoves) {
+  // Submitted at the trough already: nothing better within a short horizon.
+  const SimTime submit = start_ + Duration::hours(4.0);
+  const ShiftDecision d =
+      planner_.plan(submit, Duration::hours(1.0), Duration::hours(2.0));
+  EXPECT_LT(d.saving_fraction, 0.05);
+}
+
+TEST_F(ShiftTest, LongJobsAverageOutTheDiurnalCycle) {
+  // A 24-hour job sees the whole cycle wherever it starts: tiny savings.
+  const SimTime submit = start_ + Duration::hours(14.0);
+  const ShiftDecision d =
+      planner_.plan(submit, Duration::hours(24.0), Duration::hours(24.0));
+  EXPECT_LT(d.saving_fraction, 0.05);
+  // A 2-hour job at the same submit saves far more.
+  const ShiftDecision short_d =
+      planner_.plan(submit, Duration::hours(2.0), Duration::hours(24.0));
+  EXPECT_GT(short_d.saving_fraction, d.saving_fraction + 0.1);
+}
+
+TEST_F(ShiftTest, StudyAggregatesAndRespectsDeferrableFlag) {
+  std::vector<CarbonShiftPlanner::StudyJob> jobs;
+  for (int i = 0; i < 20; ++i) {
+    CarbonShiftPlanner::StudyJob j;
+    j.earliest = start_ + Duration::hours(10.0 + i % 8);
+    j.runtime = Duration::hours(2.0);
+    j.mean_power = Power::kilowatts(30.0);
+    j.deferrable = (i % 2 == 0);
+    jobs.push_back(j);
+  }
+  const auto all_fixed_jobs = [&] {
+    auto copy = jobs;
+    for (auto& j : copy) j.deferrable = false;
+    return copy;
+  }();
+
+  const auto shifted = planner_.study(jobs, Duration::hours(24.0));
+  const auto fixed = planner_.study(all_fixed_jobs, Duration::hours(24.0));
+  EXPECT_GT(shifted.saving_fraction, 0.05);
+  EXPECT_NEAR(fixed.saving_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(fixed.immediate.g(), shifted.immediate.g(), 1.0);
+  EXPECT_LT(shifted.shifted.g(), shifted.immediate.g());
+  EXPECT_GT(shifted.mean_delay_hours, 1.0);
+  EXPECT_DOUBLE_EQ(fixed.mean_delay_hours, 0.0);
+}
+
+TEST_F(ShiftTest, SavingGrowsWithHorizon) {
+  std::vector<CarbonShiftPlanner::StudyJob> jobs;
+  CarbonShiftPlanner::StudyJob j;
+  j.earliest = start_ + Duration::hours(8.0);
+  j.runtime = Duration::hours(3.0);
+  j.mean_power = Power::kilowatts(10.0);
+  jobs.push_back(j);
+  double prev = -1.0;
+  for (double h : {0.0, 4.0, 12.0, 24.0}) {
+    const auto r = planner_.study(jobs, Duration::hours(h));
+    EXPECT_GE(r.saving_fraction, prev - 1e-9);
+    prev = r.saving_fraction;
+  }
+}
+
+TEST_F(ShiftTest, ValidationErrors) {
+  EXPECT_THROW(CarbonShiftPlanner(ci_, Duration::seconds(0.0)),
+               InvalidArgument);
+  EXPECT_THROW(planner_.plan(start_, Duration::hours(0.0),
+                             Duration::hours(1.0)),
+               InvalidArgument);
+  EXPECT_THROW(planner_.plan(start_, Duration::hours(1.0),
+                             Duration::hours(-1.0)),
+               InvalidArgument);
+  EXPECT_THROW(planner_.study({}, Duration::hours(1.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

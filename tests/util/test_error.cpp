@@ -1,0 +1,53 @@
+// Tests for the error-handling primitives.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(Errors, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw StateError("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  try {
+    throw InvalidArgument("specific message");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Errors, RequireThrowsOnlyWhenFalse) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad input"), InvalidArgument);
+  EXPECT_NO_THROW(require_state(true, "ok"));
+  EXPECT_THROW(require_state(false, "bad state"), StateError);
+}
+
+TEST(Errors, RequireMessagePropagates) {
+  try {
+    require(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Errors, AssertMacroCarriesLocationAndMessage) {
+  try {
+    HPCEM_ASSERT(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Errors, AssertMacroPassesSilently) {
+  EXPECT_NO_THROW(HPCEM_ASSERT(2 + 2 == 4, "fine"));
+}
+
+}  // namespace
+}  // namespace hpcem

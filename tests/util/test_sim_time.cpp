@@ -1,0 +1,112 @@
+// Unit tests for the simulation clock and the civil calendar.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/sim_time.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(SimTime, ArithmeticWithDurations) {
+  const SimTime t(1000.0);
+  EXPECT_DOUBLE_EQ((t + Duration::seconds(500.0)).sec(), 1500.0);
+  EXPECT_DOUBLE_EQ((t - Duration::seconds(500.0)).sec(), 500.0);
+  EXPECT_DOUBLE_EQ((SimTime(2000.0) - t).sec(), 1000.0);
+  SimTime u = t;
+  u += Duration::hours(1.0);
+  EXPECT_DOUBLE_EQ(u.sec(), 4600.0);
+  EXPECT_LT(t, u);
+}
+
+TEST(Calendar, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  const CivilDate d = civil_from_days(0);
+  EXPECT_EQ(d, (CivilDate{1970, 1, 1}));
+}
+
+TEST(Calendar, KnownDates) {
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil({2021, 12, 1}), 18962);
+  EXPECT_EQ(days_from_civil({2022, 5, 1}), 19113);
+}
+
+TEST(Calendar, RoundTripOverDecades) {
+  // Property sweep: every 13 days from 1990 to 2040 round-trips exactly.
+  for (std::int64_t day = days_from_civil({1990, 1, 1});
+       day < days_from_civil({2040, 1, 1}); day += 13) {
+    const CivilDate d = civil_from_days(day);
+    ASSERT_EQ(days_from_civil(d), day) << iso_date(d);
+  }
+}
+
+TEST(Calendar, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_TRUE(is_leap_year(2024));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2023));
+  // Feb 29 valid only in leap years.
+  EXPECT_NO_THROW(days_from_civil({2024, 2, 29}));
+  EXPECT_THROW(days_from_civil({2023, 2, 29}), InvalidArgument);
+}
+
+TEST(Calendar, InvalidDatesThrow) {
+  EXPECT_THROW(days_from_civil({2022, 13, 1}), InvalidArgument);
+  EXPECT_THROW(days_from_civil({2022, 0, 1}), InvalidArgument);
+  EXPECT_THROW(days_from_civil({2022, 4, 31}), InvalidArgument);
+  EXPECT_THROW(days_from_civil({2022, 1, 0}), InvalidArgument);
+}
+
+TEST(Calendar, SimTimeDateConversions) {
+  const SimTime t = sim_time_from_date({2022, 5, 9});
+  EXPECT_EQ(date_from_sim_time(t), (CivilDate{2022, 5, 9}));
+  EXPECT_EQ(date_from_sim_time(t + Duration::hours(23.0)),
+            (CivilDate{2022, 5, 9}));
+  EXPECT_EQ(date_from_sim_time(t + Duration::hours(25.0)),
+            (CivilDate{2022, 5, 10}));
+}
+
+TEST(Calendar, SecondsIntoDay) {
+  const SimTime midnight = sim_time_from_date({2022, 1, 1});
+  EXPECT_DOUBLE_EQ(seconds_into_day(midnight), 0.0);
+  EXPECT_DOUBLE_EQ(seconds_into_day(midnight + Duration::hours(6.5)),
+                   6.5 * 3600.0);
+}
+
+TEST(Calendar, DayOfWeek) {
+  // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+  EXPECT_EQ(day_of_week(sim_time_from_date({1970, 1, 1})), 3);
+  // 2022-05-09 was a Monday.
+  EXPECT_EQ(day_of_week(sim_time_from_date({2022, 5, 9})), 0);
+  // 2022-05-08 was a Sunday.
+  EXPECT_EQ(day_of_week(sim_time_from_date({2022, 5, 8})), 6);
+}
+
+TEST(Calendar, DayOfYear) {
+  EXPECT_EQ(day_of_year({2022, 1, 1}), 1);
+  EXPECT_EQ(day_of_year({2022, 12, 31}), 365);
+  EXPECT_EQ(day_of_year({2024, 12, 31}), 366);
+  EXPECT_EQ(day_of_year({2022, 3, 1}), 60);
+}
+
+TEST(Calendar, Labels) {
+  EXPECT_EQ(month_abbrev(1), "Jan");
+  EXPECT_EQ(month_abbrev(12), "Dec");
+  EXPECT_THROW(month_abbrev(0), InvalidArgument);
+  EXPECT_THROW(month_abbrev(13), InvalidArgument);
+  EXPECT_EQ(month_year_label({2021, 12, 15}), "Dec 2021");
+  EXPECT_EQ(iso_date({2022, 5, 9}), "2022-05-09");
+}
+
+TEST(Calendar, IsoDateTime) {
+  const SimTime t =
+      sim_time_from_date({2022, 5, 9}) + Duration::hours(13.5);
+  EXPECT_EQ(iso_date_time(t), "2022-05-09 13:30");
+}
+
+TEST(Calendar, NegativeTimesBeforeEpoch) {
+  const CivilDate d = civil_from_days(-1);
+  EXPECT_EQ(d, (CivilDate{1969, 12, 31}));
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,189 @@
+// Unit tests for streaming and batch statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), StateError);
+  EXPECT_THROW(s.min(), StateError);
+  EXPECT_THROW(s.max(), StateError);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStats, SampleVarianceBesselCorrected) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(21);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.3), 7.0);
+}
+
+TEST(Percentile, InvalidInputsThrow) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile_sorted({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile_sorted(xs, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile_sorted(xs, 1.1), InvalidArgument);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+}
+
+TEST(Summarize, EmptyGivesZeroCount) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(MeanOf, BasicAndThrows) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+  EXPECT_THROW(mean_of({}), InvalidArgument);
+}
+
+TEST(WeightedMean, Weighted) {
+  const std::vector<double> xs = {10.0, 20.0};
+  const std::vector<double> ws = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), 12.5);
+}
+
+TEST(WeightedMean, InvalidThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> short_w = {1.0};
+  const std::vector<double> zero_w = {0.0, 0.0};
+  const std::vector<double> neg_w = {1.0, -1.0};
+  EXPECT_THROW(weighted_mean(xs, short_w), InvalidArgument);
+  EXPECT_THROW(weighted_mean(xs, zero_w), InvalidArgument);
+  EXPECT_THROW(weighted_mean(xs, neg_w), InvalidArgument);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Rng rng(33);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(2.0 + 0.5 * x + rng.normal(0.0, 1.0));
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitLine, ConstantYHasPerfectFit) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {5.0, 5.0, 5.0};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(FitLine, DegenerateXThrows) {
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(fit_line(xs, ys), InvalidArgument);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.primed());
+  for (int i = 0; i < 100; ++i) e.add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, FirstSamplePrimes) {
+  Ewma e(0.5);
+  EXPECT_DOUBLE_EQ(e.add(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(e.add(8.0), 6.0);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  EXPECT_THROW(Ewma(0.0), InvalidArgument);
+  EXPECT_THROW(Ewma(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,105 @@
+// Tests for the operating-policy resolution logic (§4.2 opt-out rules).
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hpp"
+#include "workload/policy.hpp"
+
+namespace hpcem {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  NodePowerParams np_;
+  AppCatalog cat_ = AppCatalog::archer2(np_);
+};
+
+TEST_F(PolicyTest, FactoryPoliciesMatchThePaperTimeline) {
+  const auto base = OperatingPolicy::baseline();
+  EXPECT_EQ(base.bios_mode, DeterminismMode::kPowerDeterminism);
+  EXPECT_EQ(base.default_pstate, pstates::kHighTurbo);
+
+  const auto perfdet = OperatingPolicy::performance_determinism();
+  EXPECT_EQ(perfdet.bios_mode, DeterminismMode::kPerformanceDeterminism);
+  EXPECT_EQ(perfdet.default_pstate, pstates::kHighTurbo);
+
+  const auto lowfreq = OperatingPolicy::low_frequency_default();
+  EXPECT_EQ(lowfreq.bios_mode, DeterminismMode::kPerformanceDeterminism);
+  EXPECT_EQ(lowfreq.default_pstate, pstates::kMid);
+  EXPECT_TRUE(lowfreq.auto_revert_enabled);
+  EXPECT_DOUBLE_EQ(lowfreq.revert_threshold, 0.10);
+}
+
+TEST_F(PolicyTest, UserChoiceAlwaysWins) {
+  const auto policy = OperatingPolicy::low_frequency_default();
+  JobSpec job;
+  job.user_pstate = pstates::kLow;
+  // Even a compute-bound app that would auto-revert gets the user's pick.
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("LAMMPS Ethanol"), job),
+            pstates::kLow);
+  job.user_pstate = pstates::kHighTurbo;
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("VASP CdTe"), job),
+            pstates::kHighTurbo);
+}
+
+TEST_F(PolicyTest, ComputeBoundAppsAutoRevert) {
+  const auto policy = OperatingPolicy::low_frequency_default();
+  // LAMMPS Ethanol: published perf ratio 0.74 => 35% slowdown >> 10%.
+  EXPECT_TRUE(policy.auto_reverts(cat_.at("LAMMPS Ethanol")));
+  JobSpec job;
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("LAMMPS Ethanol"), job),
+            pstates::kHighTurbo);
+}
+
+TEST_F(PolicyTest, MemoryBoundAppsFollowTheDefault) {
+  const auto policy = OperatingPolicy::low_frequency_default();
+  // VASP CdTe: published perf ratio 0.95 => ~5% slowdown < 10%.
+  EXPECT_FALSE(policy.auto_reverts(cat_.at("VASP CdTe")));
+  JobSpec job;
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("VASP CdTe"), job),
+            pstates::kMid);
+}
+
+TEST_F(PolicyTest, RevertSetMatchesPublishedPerfRatios) {
+  // Exactly the Table 4 benchmarks with >10% published slowdown must
+  // revert: GROMACS (0.83), LAMMPS (0.74), Nektar++ (0.80), CP2K (0.91 ->
+  // 9.9% stays), CASTEP (0.93 stays), ONETEP (0.92 stays), VASP (0.95).
+  const auto policy = OperatingPolicy::low_frequency_default();
+  EXPECT_TRUE(policy.auto_reverts(cat_.at("GROMACS 1400k")));
+  EXPECT_TRUE(policy.auto_reverts(cat_.at("Nektar++ TGV 128 DoF")));
+  EXPECT_FALSE(policy.auto_reverts(cat_.at("CP2K H2O 2048")));
+  EXPECT_FALSE(policy.auto_reverts(cat_.at("CASTEP Al Slab")));
+  EXPECT_FALSE(policy.auto_reverts(cat_.at("ONETEP hBN-BP-hBN")));
+}
+
+TEST_F(PolicyTest, NoRevertWhenDefaultIsTurbo) {
+  const auto policy = OperatingPolicy::baseline();
+  EXPECT_FALSE(policy.auto_reverts(cat_.at("LAMMPS Ethanol")));
+  JobSpec job;
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("LAMMPS Ethanol"), job),
+            pstates::kHighTurbo);
+}
+
+TEST_F(PolicyTest, DisablingAutoRevertForcesTheDefault) {
+  OperatingPolicy policy = OperatingPolicy::low_frequency_default();
+  policy.auto_revert_enabled = false;
+  JobSpec job;
+  EXPECT_EQ(policy.resolve_pstate(cat_.at("LAMMPS Ethanol"), job),
+            pstates::kMid);
+}
+
+TEST_F(PolicyTest, ThresholdControlsTheRevertSet) {
+  OperatingPolicy loose = OperatingPolicy::low_frequency_default();
+  loose.revert_threshold = 0.50;  // nothing is half as slow at 2.0 GHz
+  OperatingPolicy strict = OperatingPolicy::low_frequency_default();
+  strict.revert_threshold = 0.01;  // nearly everything reverts
+  std::size_t loose_count = 0, strict_count = 0;
+  for (const auto* app : cat_.production_mix()) {
+    if (loose.auto_reverts(*app)) ++loose_count;
+    if (strict.auto_reverts(*app)) ++strict_count;
+  }
+  EXPECT_EQ(loose_count, 0u);
+  EXPECT_EQ(strict_count, cat_.production_mix().size());
+}
+
+}  // namespace
+}  // namespace hpcem

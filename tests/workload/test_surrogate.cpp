@@ -1,0 +1,105 @@
+// Tests for the AI-surrogate replacement study.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/catalog.hpp"
+#include "workload/surrogate.hpp"
+
+namespace hpcem {
+namespace {
+
+class SurrogateTest : public ::testing::Test {
+ protected:
+  NodePowerParams np_;
+  AppCatalog cat_ = AppCatalog::archer2(np_);
+  const ApplicationModel& um_ = cat_.at("UM atmosphere (production)");
+
+  SurrogateStudy make(SurrogateSpec spec = {}) const {
+    return SurrogateStudy(um_, spec, 128, Duration::hours(6.0));
+  }
+};
+
+TEST_F(SurrogateTest, PerRunEnergyArithmetic) {
+  const auto study = make();
+  const double original = study.original_run_energy().to_kwh();
+  // 128 nodes * ~462 W * 6 h ~ 355 kWh.
+  EXPECT_NEAR(original, 128.0 * 0.462 * 6.0, 5.0);
+  // Default spec: 80% coverage replaced at 5% node-hours x1.2 power.
+  const double expected =
+      original * (0.8 * 0.05 * 1.2 + 0.2);
+  EXPECT_NEAR(study.surrogate_run_energy().to_kwh(), expected, 1.0);
+  EXPECT_NEAR(study.saving_per_run().to_kwh(), original - expected, 1.0);
+}
+
+TEST_F(SurrogateTest, BreakEvenAmortisesTraining) {
+  const auto study = make();
+  const double runs = study.break_even_runs();
+  // 20 MWh training / ~270 kWh per-run saving ~ 74 runs.
+  EXPECT_GT(runs, 40.0);
+  EXPECT_LT(runs, 120.0);
+  // Exactly at break-even the campaign saving crosses zero.
+  const auto at = study.campaign(
+      static_cast<std::size_t>(runs) + 1, CarbonIntensity::g_per_kwh(200));
+  EXPECT_GT(at.saving_fraction, 0.0);
+  const auto before =
+      study.campaign(static_cast<std::size_t>(runs) / 2,
+                     CarbonIntensity::g_per_kwh(200));
+  EXPECT_LT(before.saving_fraction, 0.0);  // training not yet paid back
+}
+
+TEST_F(SurrogateTest, LargeCampaignApproachesAsymptoticSaving) {
+  const auto study = make();
+  const auto big =
+      study.campaign(100000, CarbonIntensity::g_per_kwh(200.0));
+  // Asymptote: 1 - (0.8*0.05*1.2 + 0.2) = 0.752.
+  EXPECT_NEAR(big.saving_fraction, 0.752, 0.01);
+  EXPECT_GT(big.scope2_saved.t(), 0.0);
+}
+
+TEST_F(SurrogateTest, FullCoverageSavesMost) {
+  SurrogateSpec full;
+  full.coverage = 1.0;
+  const auto full_study = make(full);
+  const auto partial_study = make();
+  EXPECT_GT(full_study.saving_per_run().j(),
+            partial_study.saving_per_run().j());
+}
+
+TEST_F(SurrogateTest, CheapTrainingBreaksEvenSooner) {
+  SurrogateSpec cheap;
+  cheap.training_energy = Energy::mwh(2.0);
+  EXPECT_LT(make(cheap).break_even_runs(), make().break_even_runs());
+}
+
+TEST_F(SurrogateTest, ValidationErrors) {
+  SurrogateSpec bad;
+  bad.node_hour_ratio = 0.0;
+  EXPECT_THROW(make(bad), InvalidArgument);
+  bad = {};
+  bad.node_hour_ratio = 1.0;
+  EXPECT_THROW(make(bad), InvalidArgument);
+  bad = {};
+  bad.coverage = 0.0;
+  EXPECT_THROW(make(bad), InvalidArgument);
+  bad = {};
+  bad.power_factor = -1.0;
+  EXPECT_THROW(make(bad), InvalidArgument);
+  // A surrogate that burns more than it replaces is rejected outright:
+  // coverage * ratio * power >= coverage would mean no saving.
+  bad = {};
+  bad.node_hour_ratio = 0.9;
+  bad.power_factor = 1.5;
+  EXPECT_THROW(make(bad), InvalidArgument);
+  // Degenerate geometry.
+  SurrogateSpec ok;
+  EXPECT_THROW(SurrogateStudy(um_, ok, 0, Duration::hours(1.0)),
+               InvalidArgument);
+  EXPECT_THROW(SurrogateStudy(um_, ok, 1, Duration::hours(0.0)),
+               InvalidArgument);
+  const auto study = make();
+  EXPECT_THROW(study.campaign(0, CarbonIntensity::g_per_kwh(100.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -1,0 +1,94 @@
+// Tests for job-trace serialisation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "workload/trace.hpp"
+
+namespace hpcem {
+namespace {
+
+std::vector<JobSpec> sample_jobs() {
+  JobSpec a;
+  a.id = 1;
+  a.app = "VASP (production)";
+  a.nodes = 8;
+  a.ref_runtime = Duration::hours(2.5);
+  a.submit_time = sim_time_from_date({2022, 5, 9});
+  a.requested_walltime = Duration::hours(5.0);
+  a.silicon_factor = 1.05;
+
+  JobSpec b;
+  b.id = 2;
+  b.app = "LAMMPS Ethanol";
+  b.nodes = 4;
+  b.ref_runtime = Duration::hours(1.0);
+  b.submit_time = a.submit_time + Duration::minutes(10.0);
+  b.requested_walltime = Duration::hours(2.0);
+  b.user_pstate = pstates::kHighTurbo;
+  b.silicon_factor = 0.97;
+  return {a, b};
+}
+
+TEST(Trace, RoundTripPreservesJobs) {
+  const auto jobs = sample_jobs();
+  const auto parsed = jobs_from_csv(jobs_to_csv(jobs));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, 1u);
+  EXPECT_EQ(parsed[0].app, "VASP (production)");
+  EXPECT_EQ(parsed[0].nodes, 8u);
+  EXPECT_NEAR(parsed[0].ref_runtime.hrs(), 2.5, 1e-3);
+  EXPECT_FALSE(parsed[0].user_pstate.has_value());
+  EXPECT_NEAR(parsed[0].silicon_factor, 1.05, 1e-6);
+  ASSERT_TRUE(parsed[1].user_pstate.has_value());
+  EXPECT_EQ(*parsed[1].user_pstate, pstates::kHighTurbo);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "hpcem_jobs_test.csv";
+  write_jobs_file(path, sample_jobs());
+  const auto parsed = read_jobs_file(path);
+  EXPECT_EQ(parsed.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, MalformedInputThrows) {
+  EXPECT_THROW(jobs_from_csv("id,app\n1,x\n"), ParseError);  // cols missing
+  const std::string header =
+      "id,app,nodes,ref_runtime_s,submit_s,walltime_s,user_pstate,silicon\n";
+  EXPECT_THROW(jobs_from_csv(header + "1,x,0,100,0,200,,1\n"), ParseError);
+  EXPECT_THROW(jobs_from_csv(header + "1,x,abc,100,0,200,,1\n"), ParseError);
+  EXPECT_THROW(jobs_from_csv(header + "1,x,4,100,0,200,3.70+turbo,1\n"),
+               ParseError);
+}
+
+TEST(Trace, RecordsExportHasAccountingColumns) {
+  JobRecord r;
+  r.spec = sample_jobs()[0];
+  r.start_time = r.spec.submit_time + Duration::minutes(5.0);
+  r.end_time = r.start_time + Duration::hours(2.5);
+  r.pstate = pstates::kMid;
+  r.mode = DeterminismMode::kPerformanceDeterminism;
+  r.node_energy = Energy::kwh(7.5);
+  r.node_power_w = 375.0;
+  const std::string csv = records_to_csv({r});
+  EXPECT_NE(csv.find("node_energy_kwh"), std::string::npos);
+  EXPECT_NE(csv.find("performance determinism"), std::string::npos);
+  EXPECT_NE(csv.find("7.500"), std::string::npos);
+  EXPECT_NE(csv.find("2.00"), std::string::npos);  // pstate code
+}
+
+TEST(Trace, JobRecordDerivedQuantities) {
+  JobRecord r;
+  r.spec = sample_jobs()[0];
+  r.start_time = r.spec.submit_time + Duration::minutes(30.0);
+  r.end_time = r.start_time + Duration::hours(2.0);
+  EXPECT_NEAR(r.runtime().hrs(), 2.0, 1e-12);
+  EXPECT_NEAR(r.wait_time().min(), 30.0, 1e-12);
+  EXPECT_NEAR(r.node_hours(), 16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcem
