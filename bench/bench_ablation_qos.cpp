@@ -9,24 +9,26 @@
 #include <map>
 #include <vector>
 
-#include "core/facility.hpp"
+#include "core/assembly.hpp"
 #include "util/stats.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
-  const Facility facility = Facility::archer2();
   const SimTime start = sim_time_from_date({2022, 2, 1});
-  const SimTime end = start + Duration::days(21.0);
 
   auto run = [&](QueueDiscipline discipline) {
-    auto cfg = facility.sim_config(/*seed=*/777);
-    cfg.sched_discipline = discipline;
-    FacilitySimulator sim(facility.catalog(), cfg);
-    sim.run(start - Duration::days(10.0), end);
+    ScenarioSpec spec;
+    spec.name = "qos-ablation";
+    spec.window_start = start;
+    spec.window_end = start + Duration::days(21.0);
+    spec.warmup = Duration::days(10.0);
+    spec.seed = 777;
+    spec.discipline = discipline;
+    const auto sim = FacilityAssembly(spec).run_simulator();
     // Wait-hour samples per QoS class (steady-state jobs only).
     std::map<QosClass, std::vector<double>> waits;
-    for (const auto& r : sim.completed()) {
+    for (const auto& r : sim->completed()) {
       if (r.start_time < start) continue;
       waits[r.spec.qos].push_back(r.wait_time().hrs());
     }

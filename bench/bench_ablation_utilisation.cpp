@@ -7,12 +7,15 @@
 // that degrades as utilisation falls.
 #include <iostream>
 
-#include "core/facility.hpp"
+#include "core/assembly.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
-  const Facility facility = Facility::archer2();
+  ScenarioSpec spec = ScenarioSpec::archer2_baseline();
+  spec.name = "utilisation-ablation";
+  const FacilityAssembly assembly(spec);
+  const Facility& facility = assembly.facility();
   const OperatingPolicy policy = OperatingPolicy::baseline();
 
   TextTable t({"Utilisation", "Cabinet power (kW)",

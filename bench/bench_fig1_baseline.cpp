@@ -2,16 +2,15 @@
 // Apr 2022.  Paper: mean 3,220 kW at >90% utilisation.
 #include <iostream>
 
+#include "core/assembly.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
 #include "telemetry/seasonal.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
-  const Facility facility = Facility::archer2();
-  const ScenarioRunner runner(facility);
-  const TimelineResult result = runner.figure1();
+  const FacilityAssembly assembly(ScenarioSpec::figure1());
+  const TimelineResult result = assembly.run();
   std::cout << render_timeline(
                    result,
                    "Figure 1: simulated ARCHER2 compute-cabinet power, "

@@ -2,14 +2,13 @@
 // 2022.  Paper: mean 3,220 kW before, 3,010 kW after (-7% of cabinet power).
 #include <iostream>
 
+#include "core/assembly.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
 
 int main() {
   using namespace hpcem;
-  const Facility facility = Facility::archer2();
-  const ScenarioRunner runner(facility);
-  const TimelineResult result = runner.figure2();
+  const FacilityAssembly assembly(ScenarioSpec::figure2());
+  const TimelineResult result = assembly.run();
   std::cout << render_timeline(
                    result,
                    "Figure 2: simulated cabinet power, Apr - May 2022 "

@@ -3,14 +3,13 @@
 // saving vs the original 3,220 kW baseline.
 #include <iostream>
 
+#include "core/assembly.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
 
 int main() {
   using namespace hpcem;
-  const Facility facility = Facility::archer2();
-  const ScenarioRunner runner(facility);
-  const TimelineResult result = runner.figure3();
+  const FacilityAssembly assembly(ScenarioSpec::figure3());
+  const TimelineResult result = assembly.run();
   std::cout << render_timeline(
                    result,
                    "Figure 3: simulated cabinet power, Nov - Dec 2022 "

@@ -1,0 +1,186 @@
+// Declarative facility assembly: one ScenarioSpec -> a ready-to-run
+// simulator.
+//
+// Every reproduction harness used to hand-assemble the same ARCHER2
+// configuration (inventory, power models, workload mix, scheduler
+// discipline) before tweaking one knob.  `ScenarioSpec` is the single
+// declarative description of a simulated campaign — which machine, which
+// window, which operating policy, which mid-window changes, which plant
+// extras — and `FacilityAssembly` turns a spec into the canonical
+// configuration, composition (sim/composition.hpp) and armed simulator.
+// The campaign layer (sim/campaign.hpp) fans specs out over a thread pool
+// via `run_campaign` below.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "sim/campaign.hpp"
+#include "telemetry/changepoint.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace hpcem {
+
+/// A policy rollout at an instant (the paper's BIOS/frequency changes).
+struct PolicyChange {
+  SimTime at{};
+  OperatingPolicy policy{};
+};
+
+/// A maintenance reservation: job starts blocked in [block_from, end).
+struct MaintenanceWindow {
+  SimTime block_from{};
+  SimTime end{};
+};
+
+/// Which calibrated machine model a spec runs on.
+enum class MachineModel {
+  kArcher2,  ///< the full 5,860-node flagship
+  kTestbed,  ///< 512 nodes, same physics (CI and experimentation)
+  kMicro,    ///< 64 nodes (campaign fan-out benchmarks, fast tests)
+};
+
+/// Declarative description of one simulated measurement campaign.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  MachineModel machine = MachineModel::kArcher2;
+
+  /// Measurement window [window_start, window_end).
+  SimTime window_start{};
+  SimTime window_end{};
+  /// Steady-state pre-roll simulated before the window opens.
+  Duration warmup = Duration::days(25.0);
+
+  /// Default seed for single runs (campaigns derive per-task streams).
+  std::uint64_t seed = 0x5EED;
+
+  /// Operating policy at simulation start.
+  OperatingPolicy policy = OperatingPolicy::baseline();
+  /// Scheduled rollouts.  Pre-window changes arm the policy at the window
+  /// start (latest wins); changes at or after window_end are ignored.
+  std::vector<PolicyChange> changes;
+  std::vector<MaintenanceWindow> maintenance;
+
+  /// Scheduler discipline.
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  PriorityWeights weights{};
+
+  /// Simulator overrides; nullopt keeps the machine defaults.
+  std::optional<Duration> sample_interval;
+  std::optional<double> metering_noise_sigma;
+  std::optional<double> offered_load;
+  std::optional<double> user_turbo_pin_fraction;
+
+  /// Optional plant components appended to the standard composition
+  /// (outside the cabinet metering boundary; extra telemetry channels).
+  bool model_cdus = false;
+  bool model_filesystems = false;
+  /// When set, adds a PUE-style cooling overhead source at this constant
+  /// outdoor temperature (degC).
+  std::optional<double> cooling_outdoor_c;
+  /// Idle-node suspension lever (disabled by default, as on ARCHER2).
+  IdlePowerPolicy idle_policy{};
+
+  /// First scheduled change strictly inside the window, if any (the
+  /// before/after split instant for analysis).
+  [[nodiscard]] std::optional<SimTime> first_change_in_window() const;
+
+  /// The paper's three measurement campaigns (Figures 1-3) on the
+  /// flagship machine.
+  [[nodiscard]] static ScenarioSpec figure1();
+  [[nodiscard]] static ScenarioSpec figure2();
+  [[nodiscard]] static ScenarioSpec figure3();
+  /// The canonical steady-state baseline window (same as figure1).
+  [[nodiscard]] static ScenarioSpec archer2_baseline();
+};
+
+/// Result of one scenario run.
+struct TimelineResult {
+  /// Cabinet power over the measurement window (kW channel).
+  TimeSeries cabinet_kw;
+  /// Mean utilisation over the window.
+  double mean_utilisation = 0.0;
+  /// Window mean (whole window).
+  double mean_kw = 0.0;
+  /// Means before/after the scheduled change (equal to mean_kw when the
+  /// scenario has no change).
+  double mean_before_kw = 0.0;
+  double mean_after_kw = 0.0;
+  /// Change point recovered from the data by least-squares segmentation.
+  std::optional<TimedStepChange> detected;
+  /// When the operational change was actually applied (if any).
+  std::optional<SimTime> change_time;
+  SimTime window_start;
+  SimTime window_end;
+};
+
+/// Builds the canonical configuration and simulators for one spec.
+///
+/// Immutable after construction, so a const assembly may be shared across
+/// campaign worker threads; every make_simulator() call produces a fresh
+/// shared-nothing simulator.
+class FacilityAssembly {
+ public:
+  /// Assemble the machine named by spec.machine.
+  explicit FacilityAssembly(ScenarioSpec spec);
+
+  /// Assemble over an existing machine model (what-if studies, custom
+  /// facilities).  The facility must outlive the assembly.
+  FacilityAssembly(const Facility& facility, ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] const Facility& facility() const { return *facility_; }
+
+  /// The simulator configuration for this spec at a given seed.
+  [[nodiscard]] FacilitySimConfig sim_config(std::uint64_t seed) const;
+
+  /// The component list for this spec: the standard cabinet-boundary
+  /// breakdown plus any plant extras the spec asks for.
+  [[nodiscard]] SimComposition composition(
+      const FacilitySimConfig& config) const;
+
+  /// A ready-to-run simulator: configuration built, policy set, changes
+  /// and maintenance armed.  Call sim->run(spec window - warmup, end), or
+  /// use run_simulator()/run() below.
+  [[nodiscard]] std::unique_ptr<FacilitySimulator> make_simulator() const;
+  [[nodiscard]] std::unique_ptr<FacilitySimulator> make_simulator(
+      std::uint64_t seed) const;
+
+  /// Build and run to completion (warmup + window); returns the simulator
+  /// for telemetry/job-record access.
+  [[nodiscard]] std::unique_ptr<FacilitySimulator> run_simulator() const;
+  [[nodiscard]] std::unique_ptr<FacilitySimulator> run_simulator(
+      std::uint64_t seed) const;
+
+  /// Build, run and analyse the measurement window.
+  [[nodiscard]] TimelineResult run() const;
+  [[nodiscard]] TimelineResult run(std::uint64_t seed) const;
+
+ private:
+  ScenarioSpec spec_;
+  std::shared_ptr<const Facility> owned_;  ///< null when external
+  const Facility* facility_;
+};
+
+/// Window analysis on a finished run: slice the cabinet channel, compute
+/// window/before/after means and recover the changepoint from the data
+/// alone — the same analysis an operator would run on real cabinet
+/// telemetry.
+[[nodiscard]] TimelineResult analyze_timeline(const FacilitySimulator& sim,
+                                              const ScenarioSpec& spec);
+
+/// Bind a spec-built assembly into a campaign scenario (sim/campaign.hpp).
+/// The returned factory shares the assembly immutably across workers.
+[[nodiscard]] CampaignScenario make_campaign_scenario(
+    std::shared_ptr<const FacilityAssembly> assembly);
+
+/// Assemble every spec and execute the campaign on a worker pool.
+/// Merged results are bit-identical for any worker count.
+[[nodiscard]] CampaignResult run_campaign(
+    const std::vector<ScenarioSpec>& specs,
+    const CampaignConfig& config = {});
+
+}  // namespace hpcem

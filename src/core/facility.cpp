@@ -33,6 +33,24 @@ Facility Facility::testbed() {
                   gen);
 }
 
+Facility Facility::micro() {
+  FacilityInventory inventory;
+  inventory.compute_nodes = 64;
+  inventory.switches = 16;
+  inventory.cabinets = 1;
+  inventory.cdus = 1;
+  inventory.filesystems = 1;
+  DragonflyParams fabric;
+  fabric.groups = 4;
+  fabric.switches_per_group = 4;
+  fabric.nodes_per_switch = 4;
+  WorkloadGenParams gen;
+  gen.offered_load = 0.91;
+  gen.max_job_nodes = 16;
+  return Facility("hpcem-micro", inventory, NodePowerParams{}, fabric,
+                  gen);
+}
+
 Facility::Facility(std::string name, FacilityInventory inventory,
                    NodePowerParams node_params,
                    DragonflyParams fabric_params,

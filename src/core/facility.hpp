@@ -37,6 +37,11 @@ class Facility {
   /// is the right target for experimentation and CI.
   static Facility testbed();
 
+  /// A 64-node micro machine (4 groups x 4 switches x 4 ports, 1 cabinet)
+  /// for campaign fan-out benchmarks and fast unit tests: cheap enough
+  /// that dozens of shared-nothing simulators run side by side.
+  static Facility micro();
+
   /// Custom machines (smaller test systems, what-if studies).
   Facility(std::string name, FacilityInventory inventory,
            NodePowerParams node_params, DragonflyParams fabric_params,

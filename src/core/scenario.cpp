@@ -1,8 +1,6 @@
 #include "core/scenario.hpp"
 
-#include <span>
-
-#include "telemetry/seasonal.hpp"
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -10,6 +8,12 @@ namespace hpcem {
 
 ScenarioRunner::ScenarioRunner(const Facility& facility, std::uint64_t seed)
     : facility_(&facility), seed_(seed) {}
+
+TimelineResult ScenarioRunner::run_spec(ScenarioSpec spec) const {
+  spec.seed = seed_;
+  spec.warmup = warmup_;
+  return FacilityAssembly(*facility_, std::move(spec)).run();
+}
 
 TimelineResult ScenarioRunner::run_campaign(
     SimTime start, SimTime end, const OperatingPolicy& before,
@@ -23,84 +27,25 @@ TimelineResult ScenarioRunner::run_campaign(
             "run_campaign: change must fall inside the window");
   }
 
-  auto sim = facility_->make_simulator(seed_);
-  sim->set_policy(before);
-  if (change) sim->schedule_policy_change(*change, *after);
-
-  const SimTime sim_start = start - warmup_;
-  sim->run(sim_start, end);
-
-  TimelineResult r;
-  r.window_start = start;
-  r.window_end = end;
-  r.change_time = change;
-  r.cabinet_kw =
-      sim->telemetry().channel(channels::kCabinetKw).slice(start, end);
-  require_state(r.cabinet_kw.size() >= 16,
-                "run_campaign: window produced too few samples");
-  r.mean_kw = r.cabinet_kw.mean();
-  r.mean_utilisation = sim->mean_utilisation(start, end);
-  if (change) {
-    r.mean_before_kw = r.cabinet_kw.mean_over(start, *change);
-    r.mean_after_kw = r.cabinet_kw.mean_over(*change, end);
-  } else {
-    r.mean_before_kw = r.mean_kw;
-    r.mean_after_kw = r.mean_kw;
-  }
-  // Recover the step from the data alone (min segment: one day of
-  // samples).  For a campaign with a known rollout the exact single-step
-  // segmentation is appropriate; for a no-change window use the penalised
-  // multi-step detector so pure noise reports no step at all.
-  if (change) {
-    r.detected = detect_single_step(r.cabinet_kw, 48);
-  } else {
-    // The half-hourly series is dominated by the weekly submission cycle
-    // and slow queue dynamics, both of which fool a raw step detector.
-    // Deseasonalise, average to daily means (which decorrelates the
-    // scheduler noise), then ask for a step that clears a stiff penalty —
-    // a no-change window should report nothing.
-    TimeSeries for_detection = r.cabinet_kw;
-    if (r.cabinet_kw.span().day() >= 14.0) {
-      for_detection =
-          deseasonalise(r.cabinet_kw, decompose_weekly(r.cabinet_kw))
-              .resample(Duration::days(1.0));
-    }
-    const auto vals = for_detection.values();
-    const auto steps =
-        detect_steps(std::span<const double>(vals), 7, /*penalty=*/12.0);
-    if (!steps.empty()) {
-      const SimTime at = for_detection[steps.front().index].time;
-      TimedStepChange sc;
-      sc.time = at;
-      sc.mean_before = r.cabinet_kw.mean_over(start, at);
-      sc.mean_after = r.cabinet_kw.mean_over(at, end);
-      r.detected = sc;
-    }
-  }
-  return r;
+  ScenarioSpec spec;
+  spec.name = "campaign";
+  spec.window_start = start;
+  spec.window_end = end;
+  spec.policy = before;
+  if (change) spec.changes.push_back({*change, *after});
+  return run_spec(std::move(spec));
 }
 
 TimelineResult ScenarioRunner::figure1() const {
-  return run_campaign(sim_time_from_date({2021, 12, 1}),
-                      sim_time_from_date({2022, 5, 1}),
-                      OperatingPolicy::baseline(), std::nullopt,
-                      std::nullopt);
+  return run_spec(ScenarioSpec::figure1());
 }
 
 TimelineResult ScenarioRunner::figure2() const {
-  return run_campaign(sim_time_from_date({2022, 4, 1}),
-                      sim_time_from_date({2022, 6, 1}),
-                      OperatingPolicy::baseline(),
-                      sim_time_from_date({2022, 5, 9}),
-                      OperatingPolicy::performance_determinism());
+  return run_spec(ScenarioSpec::figure2());
 }
 
 TimelineResult ScenarioRunner::figure3() const {
-  return run_campaign(sim_time_from_date({2022, 11, 1}),
-                      sim_time_from_date({2023, 1, 1}),
-                      OperatingPolicy::performance_determinism(),
-                      sim_time_from_date({2022, 12, 1}),
-                      OperatingPolicy::low_frequency_default());
+  return run_spec(ScenarioSpec::figure3());
 }
 
 ScenarioRunner::Conclusions ScenarioRunner::conclusions() const {

@@ -9,39 +9,18 @@
 //    (plus the >10%-slowdown auto-revert) at the start of December.
 //    Published means: 3,010 -> 2,530 kW.
 //
-// Each scenario pre-rolls the simulator for a warm-up period so the machine
-// is at steady-state utilisation when the measurement window opens, then
-// reports window means and the change point recovered from the telemetry
-// itself — the same analysis an operator would run on real cabinet data.
+// `ScenarioRunner` is a thin convenience facade over the declarative
+// assembly layer (core/assembly.hpp): each campaign is a `ScenarioSpec`
+// bound to this runner's facility, seed and warm-up, assembled and analysed
+// by `FacilityAssembly`.  `TimelineResult` lives in assembly.hpp.
 #pragma once
 
 #include <optional>
 
+#include "core/assembly.hpp"
 #include "core/facility.hpp"
-#include "telemetry/changepoint.hpp"
-#include "telemetry/timeseries.hpp"
 
 namespace hpcem {
-
-/// Result of one scenario run.
-struct TimelineResult {
-  /// Cabinet power over the measurement window (kW channel).
-  TimeSeries cabinet_kw;
-  /// Mean utilisation over the window.
-  double mean_utilisation = 0.0;
-  /// Window mean (whole window).
-  double mean_kw = 0.0;
-  /// Means before/after the scheduled change (equal to mean_kw when the
-  /// scenario has no change).
-  double mean_before_kw = 0.0;
-  double mean_after_kw = 0.0;
-  /// Change point recovered from the data by least-squares segmentation.
-  std::optional<TimedStepChange> detected;
-  /// When the operational change was actually applied (if any).
-  std::optional<SimTime> change_time;
-  SimTime window_start;
-  SimTime window_end;
-};
 
 /// Runs the paper's three measurement campaigns on a facility model.
 class ScenarioRunner {
@@ -78,6 +57,9 @@ class ScenarioRunner {
   [[nodiscard]] Conclusions conclusions() const;
 
  private:
+  /// Bind a canned spec to this runner's facility/seed/warmup and run it.
+  [[nodiscard]] TimelineResult run_spec(ScenarioSpec spec) const;
+
   const Facility* facility_;
   std::uint64_t seed_;
   Duration warmup_ = Duration::days(25.0);

@@ -1,0 +1,106 @@
+// Parallel multi-scenario campaign execution.
+//
+// Facility energy analysis is consumed as *campaigns*: many scenarios
+// (policies, machines, windows) x several seeds each, not single runs.
+// `CampaignRunner` executes N scenarios x M replicate seeds on a fixed-size
+// thread pool; every (scenario, seed) task owns a shared-nothing simulator
+// built from an immutable scenario description, and draws from a
+// deterministic RNG stream derived from the campaign seed and the task's
+// (scenario, replicate) indices — never from thread identity or scheduling
+// order.  Results are reduced per scenario through the RunningStats merge
+// hook in task-index order, so a campaign's merged output is bit-identical
+// regardless of the worker count.
+//
+// The scenario description here is deliberately thin (a name, a window and
+// a simulator factory): the declarative `ScenarioSpec` -> simulator wiring
+// lives one layer up in core/assembly.hpp, keeping sim/ free of a core/
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/facility_sim.hpp"
+#include "util/stats.hpp"
+
+namespace hpcem {
+
+/// One executable scenario: a window plus a factory that builds a
+/// ready-to-run simulator (policy, changes and maintenance already armed)
+/// for a given seed.  The factory is called from worker threads and must be
+/// safe to invoke concurrently (i.e. close over immutable state only).
+struct CampaignScenario {
+  std::string name = "scenario";
+  SimTime window_start{};
+  SimTime window_end{};
+  /// Steady-state pre-roll simulated before the window opens.
+  Duration warmup = Duration::days(0.0);
+  /// Instant to split before/after means at (a mid-window policy rollout);
+  /// nullopt for an unsplit window.
+  std::optional<SimTime> split_at;
+  std::function<std::unique_ptr<FacilitySimulator>(std::uint64_t seed)>
+      build;
+};
+
+/// Campaign-wide execution settings.
+struct CampaignConfig {
+  /// Worker threads; 0 means ThreadPool::default_workers().
+  std::size_t workers = 0;
+  /// Replicate seeds per scenario.
+  std::size_t seeds_per_scenario = 1;
+  /// Root seed every per-task stream is derived from.
+  std::uint64_t campaign_seed = 0xA2C4E6;
+};
+
+/// Merged per-scenario outcome: each RunningStats accumulates one value per
+/// replicate seed, merged in replicate order.
+struct ScenarioOutcome {
+  std::string name;
+  std::size_t replicates = 0;
+  RunningStats mean_kw;            ///< window-mean cabinet power, kW
+  RunningStats mean_before_kw;     ///< before split_at (== mean_kw unsplit)
+  RunningStats mean_after_kw;      ///< after split_at (== mean_kw unsplit)
+  RunningStats mean_utilisation;
+  RunningStats window_energy_kwh;  ///< cabinet energy over the window
+  RunningStats completed_jobs;     ///< jobs finished during the window
+
+  /// Fold another outcome for the same scenario into this one (the
+  /// RunningStats merge hook; associative, order-sensitive at bit level).
+  void merge(const ScenarioOutcome& other);
+};
+
+/// Result of one campaign: outcomes in input-scenario order.
+struct CampaignResult {
+  std::vector<ScenarioOutcome> scenarios;
+  std::size_t workers_used = 0;
+  std::size_t total_runs = 0;
+};
+
+/// Executes scenario campaigns on a fixed-size worker pool.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config = {});
+
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+  /// Run every (scenario, replicate) pair and merge.  Throws the first (by
+  /// task index) exception raised by any task, after all tasks drained.
+  [[nodiscard]] CampaignResult run(
+      const std::vector<CampaignScenario>& scenarios) const;
+
+  /// The deterministic per-task seed: a splitmix64 chain over the campaign
+  /// seed and the task's coordinates.  Exposed so tests and external
+  /// schedulers can reproduce a single task in isolation.
+  [[nodiscard]] static std::uint64_t stream_seed(
+      std::uint64_t campaign_seed, std::size_t scenario_index,
+      std::size_t replicate_index);
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace hpcem

@@ -1,18 +1,43 @@
 #include "sim/facility_sim.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace hpcem {
 
+SimComposition FacilitySimulator::standard_composition(
+    const FacilitySimConfig& config) {
+  SimComposition c;
+  c.sources.push_back(
+      std::make_unique<NodeFleetSource>(config.node_params));
+  c.sources.push_back(std::make_unique<SwitchFabricSource>(
+      config.switch_model, config.inventory.switches));
+  c.sources.push_back(std::make_unique<CabinetOverheadSource>(
+      config.cabinet_model, config.inventory.cabinets));
+  c.probes.push_back(std::make_unique<UtilisationProbe>());
+  c.probes.push_back(std::make_unique<QueueStateProbe>());
+  return c;
+}
+
 FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
                                      FacilitySimConfig config)
-    : catalog_(&catalog), config_(config), rng_(config.seed) {
+    : FacilitySimulator(catalog, config, standard_composition(config)) {}
+
+FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
+                                     FacilitySimConfig config,
+                                     SimComposition composition)
+    : catalog_(&catalog),
+      config_(config),
+      composition_(std::move(composition)),
+      rng_(config.seed) {
   require(config_.sample_interval.sec() > 0.0,
           "FacilitySimulator: sample interval must be positive");
   require(config_.metering_noise_sigma >= 0.0,
           "FacilitySimulator: noise sigma must be non-negative");
+  require(!composition_.sources.empty(),
+          "FacilitySimulator: composition needs at least one power source");
   SchedulerConfig sched_cfg;
   sched_cfg.nodes = config_.inventory.compute_nodes;
   sched_cfg.discipline = config_.sched_discipline;
@@ -20,12 +45,12 @@ FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
   scheduler_ = std::make_unique<Scheduler>(sched_cfg);
 
   recorder_.channel(channels::kCabinetKw, "kW");
-  recorder_.channel(channels::kNodeFleetKw, "kW");
-  recorder_.channel(channels::kUtilisation, "fraction");
-  recorder_.channel(channels::kQueueLength, "jobs");
-  recorder_.channel(channels::kRunningJobs, "jobs");
-  recorder_.channel(channels::kSwitchKw, "kW");
-  recorder_.channel(channels::kOverheadKw, "kW");
+  for (const auto& source : composition_.sources) {
+    recorder_.channel(source->channel(), "kW");
+  }
+  for (const auto& probe : composition_.probes) {
+    probe->declare_channels(recorder_);
+  }
 }
 
 void FacilitySimulator::schedule_policy_change(SimTime when,
@@ -52,12 +77,25 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
 
   engine_ = SimEngine(start);
 
-  // Arm the recorded policy changes.
-  for (const auto& [when, policy] : pending_changes_) {
-    if (when >= start && when < end) {
-      engine_.schedule(when, [this, p = policy] { policy_ = p; });
+  // Arm the recorded policy changes.  A change scheduled before the window
+  // must not be dropped silently: the service is already running the armed
+  // policy when the window opens, so the latest pre-window change applies
+  // from `start`.
+  const std::pair<SimTime, OperatingPolicy>* latest_pre_window = nullptr;
+  for (const auto& change : pending_changes_) {
+    const SimTime when = change.first;
+    if (when < start) {
+      // >= keeps the later-recorded change on ties, matching the "last
+      // schedule wins" semantics of sequential in-window changes.
+      if (latest_pre_window == nullptr ||
+          when >= latest_pre_window->first) {
+        latest_pre_window = &change;
+      }
+    } else if (when < end) {
+      engine_.schedule(when, [this, p = change.second] { policy_ = p; });
     }
   }
+  if (latest_pre_window != nullptr) policy_ = latest_pre_window->second;
 
   // Arm maintenance reservations.
   for (const auto& [from, until] : maintenance_) {
@@ -165,7 +203,7 @@ void FacilitySimulator::start_ready_jobs() {
         Power::watts(fleet_w) * runtime;
     rj.fleet_power_w = fleet_w;
 
-    busy_node_power_w_ += fleet_w;
+    busy_node_power_w_.add(fleet_w);
     scheduler_->set_expected_end(id, rj.record.end_time);
     engine_.schedule(rj.record.end_time, [this, id] { on_finish(id); });
     running_.emplace(id, std::move(rj));
@@ -175,59 +213,56 @@ void FacilitySimulator::start_ready_jobs() {
 void FacilitySimulator::on_finish(JobId id) {
   auto it = running_.find(id);
   HPCEM_ASSERT(it != running_.end(), "finish event for unknown job");
-  busy_node_power_w_ -= it->second.fleet_power_w;
-  HPCEM_ASSERT(busy_node_power_w_ > -1.0, "busy power went negative");
-  busy_node_power_w_ = std::max(0.0, busy_node_power_w_);
+  busy_node_power_w_.subtract(it->second.fleet_power_w);
+  // Compensated summation keeps the residual at a rounding of the peak
+  // magnitude, so anything visibly negative is an accounting bug.
+  HPCEM_ASSERT(busy_node_power_w_.value() > -1e-3,
+               "busy power went negative");
+  if (running_.size() == 1) busy_node_power_w_.reset();  // exact empty
   scheduler_->finish(id, engine_.now());
   completed_.push_back(std::move(it->second.record));
   running_.erase(it);
   start_ready_jobs();
 }
 
-Power FacilitySimulator::current_cabinet_power() const {
-  const auto& inv = config_.inventory;
-  const std::size_t busy = scheduler_->busy_nodes();
-  const std::size_t idle = inv.compute_nodes - busy;
-  const double util = scheduler_->utilisation();
-
-  Power nodes = Power::watts(busy_node_power_w_) +
-                config_.node_params.idle * static_cast<double>(idle);
-  Power switches =
-      config_.switch_model.power(util) * static_cast<double>(inv.switches);
-  Power cabinets = config_.cabinet_model.power(util) *
-                   static_cast<double>(inv.cabinets);
-  return nodes + switches + cabinets;
+SimSnapshot FacilitySimulator::snapshot() const {
+  SimSnapshot s;
+  s.now = engine_.now();
+  s.total_nodes = config_.inventory.compute_nodes;
+  s.busy_nodes = scheduler_->busy_nodes();
+  s.utilisation = scheduler_->utilisation();
+  s.queue_length = scheduler_->queue_length();
+  s.running_jobs = scheduler_->running_count();
+  s.busy_node_power_w = std::max(0.0, busy_node_power_w_.value());
+  return s;
 }
 
 void FacilitySimulator::sample() {
-  const SimTime now = engine_.now();
+  SimSnapshot s = snapshot();
   const double noise =
       1.0 + rng_.normal(0.0, config_.metering_noise_sigma);
-  const Power cab = current_cabinet_power();
-  const std::size_t busy = scheduler_->busy_nodes();
-  const Power node_fleet =
-      Power::watts(busy_node_power_w_) +
-      config_.node_params.idle *
-          static_cast<double>(config_.inventory.compute_nodes - busy);
 
-  recorder_.record(channels::kCabinetKw, now, cab.kw() * noise);
-  recorder_.record(channels::kNodeFleetKw, now, node_fleet.kw() * noise);
-  recorder_.record(channels::kUtilisation, now, scheduler_->utilisation());
-  recorder_.record(channels::kQueueLength, now,
-                   static_cast<double>(scheduler_->queue_length()));
-  recorder_.record(channels::kRunningJobs, now,
-                   static_cast<double>(scheduler_->running_count()));
-  const double util = scheduler_->utilisation();
-  recorder_.record(
-      channels::kSwitchKw, now,
-      (config_.switch_model.power(util) *
-       static_cast<double>(config_.inventory.switches))
-          .kw());
-  recorder_.record(
-      channels::kOverheadKw, now,
-      (config_.cabinet_model.power(util) *
-       static_cast<double>(config_.inventory.cabinets))
-          .kw());
+  // Evaluate the sources in order, accumulating the boundary totals the
+  // later sources (and the cabinet meter) see.
+  double metered_w = 0.0;
+  double total_w = 0.0;
+  for (const auto& source : composition_.sources) {
+    s.metered_power_so_far_w = metered_w;
+    s.total_power_so_far_w = total_w;
+    const Power p = source->power(s);
+    if (source->metered()) metered_w += p.w();
+    total_w += p.w();
+    recorder_.record(source->channel(), s.now,
+                     p.kw() * (source->noisy() ? noise : 1.0));
+  }
+  recorder_.record(channels::kCabinetKw, s.now,
+                   metered_w / 1000.0 * noise);
+
+  s.metered_power_so_far_w = metered_w;
+  s.total_power_so_far_w = total_w;
+  for (const auto& probe : composition_.probes) {
+    probe->on_sample(s, recorder_);
+  }
 }
 
 double FacilitySimulator::mean_cabinet_kw(SimTime a, SimTime b) const {

@@ -6,6 +6,13 @@
 // overheads — the paper's metering boundary) sampled on a fixed interval,
 // and operational policy changes (BIOS mode, default CPU frequency) taking
 // effect at scheduled instants for newly started jobs.
+//
+// The power breakdown and the telemetry channel set are composable: the
+// simulator drives an ordered list of `PowerSource` components and
+// `TelemetryProbe` observers (sim/composition.hpp).  The default
+// composition reproduces the paper's cabinet boundary exactly; cooling,
+// CDU, filesystem and idle-suspension models plug in without touching the
+// simulator.
 #pragma once
 
 #include <memory>
@@ -14,9 +21,11 @@
 
 #include "power/facility_power.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/composition.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 #include "workload/policy.hpp"
@@ -40,21 +49,21 @@ struct FacilitySimConfig {
   std::uint64_t seed = 0xA2C4E6;
 };
 
-/// Telemetry channel names produced by the simulator.
-namespace channels {
-inline constexpr const char* kCabinetKw = "cabinet_kw";
-inline constexpr const char* kNodeFleetKw = "node_fleet_kw";
-inline constexpr const char* kUtilisation = "utilisation";
-inline constexpr const char* kQueueLength = "queue_length";
-inline constexpr const char* kRunningJobs = "running_jobs";
-inline constexpr const char* kSwitchKw = "switch_kw";
-inline constexpr const char* kOverheadKw = "overhead_kw";
-}  // namespace channels
-
 /// Event-driven facility simulator.
 class FacilitySimulator {
  public:
+  /// Run with the standard composition (nodes + switches + cabinet
+  /// overheads inside the metering boundary; utilisation/queue probes).
   FacilitySimulator(const AppCatalog& catalog, FacilitySimConfig config);
+
+  /// Run with an explicit component list (see sim/composition.hpp).
+  FacilitySimulator(const AppCatalog& catalog, FacilitySimConfig config,
+                    SimComposition composition);
+
+  /// The canonical cabinet-boundary breakdown for a configuration — what
+  /// the two-argument constructor installs.
+  [[nodiscard]] static SimComposition standard_composition(
+      const FacilitySimConfig& config);
 
   /// Policy for jobs started from now on (running jobs keep their settings,
   /// as on the real service where the frequency is fixed at job launch).
@@ -62,7 +71,9 @@ class FacilitySimulator {
   [[nodiscard]] const OperatingPolicy& policy() const { return policy_; }
 
   /// Apply a policy at an instant during `run` (recorded now, armed when
-  /// the simulation starts; changes outside the run window are ignored).
+  /// the simulation starts).  A change scheduled before the run window arms
+  /// the policy at the window start (the latest pre-window change wins);
+  /// changes at or after the window end are ignored.
   void schedule_policy_change(SimTime when, OperatingPolicy policy);
 
   /// Block job starts in [block_from, end): a maintenance reservation.
@@ -76,7 +87,9 @@ class FacilitySimulator {
 
   /// Simulate [start, end) replaying an explicit job trace instead of the
   /// synthetic generator (e.g. a converted sacct dump; see
-  /// workload/trace.hpp).  Jobs submitted outside the window are ignored.
+  /// workload/trace.hpp).  Jobs submitted outside the window are ignored:
+  /// `submit_time == start` is inside, `submit_time == end` is outside
+  /// (the window is half-open, matching run()).
   /// May be called once, instead of run().
   void run_trace(std::vector<JobSpec> jobs, SimTime start, SimTime end);
 
@@ -104,6 +117,9 @@ class FacilitySimulator {
   void start_ready_jobs();
   void sample();
 
+  /// Machine state at the current instant (power accumulators zeroed).
+  [[nodiscard]] SimSnapshot snapshot() const;
+
   /// Budget-feedback multiplier on the arrival rate (see run()).
   [[nodiscard]] double demand_scale() const;
 
@@ -111,10 +127,9 @@ class FacilitySimulator {
   void run_impl(std::vector<JobSpec> trace, bool use_trace, SimTime start,
                 SimTime end);
 
-  [[nodiscard]] Power current_cabinet_power() const;
-
   const AppCatalog* catalog_;
   FacilitySimConfig config_;
+  SimComposition composition_;
   OperatingPolicy policy_ = OperatingPolicy::baseline();
   Rng rng_;
   SimEngine engine_;
@@ -126,7 +141,9 @@ class FacilitySimulator {
   bool starts_blocked_ = false;
   std::unordered_map<JobId, RunningJob> running_;
   std::vector<JobRecord> completed_;
-  double busy_node_power_w_ = 0.0;
+  /// Fleet power of running jobs; compensated because a long campaign
+  /// accumulates hundreds of thousands of add/subtract pairs.
+  CompensatedSum busy_node_power_w_;
   bool ran_ = false;
 };
 

@@ -34,6 +34,28 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Neumaier-compensated running sum.
+///
+/// The facility simulator maintains the running-job fleet power as a long
+/// sequence of add/subtract pairs; naive accumulation drifts by an ulp per
+/// operation and a months-long campaign performs hundreds of thousands of
+/// them.  The compensation term keeps the error at a single rounding of the
+/// peak magnitude, independent of the operation count.
+class CompensatedSum {
+ public:
+  void add(double x);
+  void subtract(double x) { add(-x); }
+  [[nodiscard]] double value() const { return sum_ + compensation_; }
+  void reset() {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
 /// Batch summary of a sample: order statistics plus moments.
 struct Summary {
   std::size_t count = 0;

@@ -1,0 +1,179 @@
+// CampaignRunner: parallel N-scenario x M-seed execution with a merged
+// result that is bit-identical for every worker count (the acceptance
+// requirement of the campaign layer).
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "workload/catalog.hpp"
+
+namespace hpcem {
+namespace {
+
+FacilitySimConfig micro_config(std::uint64_t seed) {
+  FacilitySimConfig cfg;
+  cfg.inventory.compute_nodes = 64;
+  cfg.inventory.switches = 16;
+  cfg.inventory.cabinets = 1;
+  cfg.gen.offered_load = 0.91;
+  cfg.gen.max_job_nodes = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  NodePowerParams np_;
+  AppCatalog cat_ = AppCatalog::archer2(np_);
+
+  static SimTime start() { return sim_time_from_date({2022, 3, 1}); }
+
+  CampaignScenario scenario(const std::string& name,
+                            double offset_days = 0.0) const {
+    CampaignScenario s;
+    s.name = name;
+    s.window_start = start() + Duration::days(offset_days);
+    s.window_end = s.window_start + Duration::days(7.0);
+    s.warmup = Duration::days(1.0);
+    s.build = [this](std::uint64_t seed) {
+      return std::make_unique<FacilitySimulator>(cat_, micro_config(seed));
+    };
+    return s;
+  }
+};
+
+TEST_F(CampaignTest, MergedResultBitIdenticalAcrossWorkerCounts) {
+  const std::vector<CampaignScenario> scenarios = {
+      scenario("a"), scenario("b", 3.0), scenario("c", 6.0)};
+
+  auto run_with = [&](std::size_t workers) {
+    CampaignConfig cfg;
+    cfg.workers = workers;
+    cfg.seeds_per_scenario = 3;
+    return CampaignRunner(cfg).run(scenarios);
+  };
+
+  const CampaignResult r1 = run_with(1);
+  const CampaignResult r4 = run_with(4);
+  const CampaignResult r8 = run_with(8);
+
+  ASSERT_EQ(r1.scenarios.size(), 3u);
+  for (const CampaignResult* r : {&r4, &r8}) {
+    ASSERT_EQ(r->scenarios.size(), r1.scenarios.size());
+    for (std::size_t i = 0; i < r1.scenarios.size(); ++i) {
+      const ScenarioOutcome& x = r1.scenarios[i];
+      const ScenarioOutcome& y = r->scenarios[i];
+      EXPECT_EQ(x.name, y.name);
+      EXPECT_EQ(x.replicates, y.replicates);
+      // Bit-identical, not merely close: exact double equality.
+      EXPECT_EQ(x.mean_kw.mean(), y.mean_kw.mean());
+      EXPECT_EQ(x.mean_kw.variance(), y.mean_kw.variance());
+      EXPECT_EQ(x.mean_before_kw.mean(), y.mean_before_kw.mean());
+      EXPECT_EQ(x.mean_after_kw.mean(), y.mean_after_kw.mean());
+      EXPECT_EQ(x.mean_utilisation.mean(), y.mean_utilisation.mean());
+      EXPECT_EQ(x.window_energy_kwh.mean(), y.window_energy_kwh.mean());
+      EXPECT_EQ(x.completed_jobs.mean(), y.completed_jobs.mean());
+    }
+  }
+  EXPECT_EQ(r1.workers_used, 1u);
+  EXPECT_EQ(r8.workers_used, 8u);
+  EXPECT_EQ(r1.total_runs, 9u);
+}
+
+TEST_F(CampaignTest, OutcomesKeepInputScenarioOrder) {
+  const std::vector<CampaignScenario> scenarios = {
+      scenario("zulu"), scenario("alpha", 2.0), scenario("mike", 4.0)};
+  CampaignConfig cfg;
+  cfg.workers = 4;
+  const CampaignResult r = CampaignRunner(cfg).run(scenarios);
+  ASSERT_EQ(r.scenarios.size(), 3u);
+  EXPECT_EQ(r.scenarios[0].name, "zulu");
+  EXPECT_EQ(r.scenarios[1].name, "alpha");
+  EXPECT_EQ(r.scenarios[2].name, "mike");
+}
+
+TEST_F(CampaignTest, ReplicatesAccumulateIntoTheOutcome) {
+  CampaignConfig cfg;
+  cfg.workers = 2;
+  cfg.seeds_per_scenario = 4;
+  const CampaignResult r = CampaignRunner(cfg).run({scenario("a")});
+  ASSERT_EQ(r.scenarios.size(), 1u);
+  const ScenarioOutcome& out = r.scenarios[0];
+  EXPECT_EQ(out.replicates, 4u);
+  EXPECT_EQ(out.mean_kw.count(), 4u);
+  // Different seeds genuinely differ (metering noise + workload draws)...
+  EXPECT_GT(out.mean_kw.stddev(), 0.0);
+  // ...but stay in a physically tight band for the same machine.
+  EXPECT_LT(out.mean_kw.stddev(), 0.05 * out.mean_kw.mean());
+  EXPECT_GT(out.mean_utilisation.mean(), 0.5);
+}
+
+TEST_F(CampaignTest, StreamSeedsDependOnlyOnCoordinates) {
+  // Distinct across a grid of coordinates, stable across calls.
+  std::set<std::uint64_t> seen;
+  for (std::size_t si = 0; si < 16; ++si) {
+    for (std::size_t ri = 0; ri < 16; ++ri) {
+      const std::uint64_t s = CampaignRunner::stream_seed(0xA2C4E6, si, ri);
+      EXPECT_EQ(s, CampaignRunner::stream_seed(0xA2C4E6, si, ri));
+      seen.insert(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  // And on the campaign seed itself.
+  EXPECT_NE(CampaignRunner::stream_seed(1, 0, 0),
+            CampaignRunner::stream_seed(2, 0, 0));
+}
+
+TEST_F(CampaignTest, SplitAtSeparatesBeforeAndAfterMeans) {
+  CampaignScenario s = scenario("split");
+  s.split_at = s.window_start + Duration::days(3.0);
+  // Arm a policy change at the split so before != after.
+  s.build = [this, at = *s.split_at](std::uint64_t seed) {
+    auto sim = std::make_unique<FacilitySimulator>(cat_, micro_config(seed));
+    sim->set_policy(OperatingPolicy::baseline());
+    sim->schedule_policy_change(at, OperatingPolicy::low_frequency_default());
+    return sim;
+  };
+  CampaignConfig cfg;
+  cfg.workers = 2;
+  const CampaignResult r = CampaignRunner(cfg).run({s});
+  const ScenarioOutcome& out = r.scenarios[0];
+  EXPECT_LT(out.mean_after_kw.mean(), out.mean_before_kw.mean() * 0.95);
+}
+
+TEST_F(CampaignTest, TaskExceptionPropagatesAfterDraining) {
+  CampaignScenario bad = scenario("bad");
+  bad.build = [](std::uint64_t) -> std::unique_ptr<FacilitySimulator> {
+    throw std::runtime_error("factory exploded");
+  };
+  CampaignConfig cfg;
+  cfg.workers = 4;
+  cfg.seeds_per_scenario = 2;
+  EXPECT_THROW(
+      (void)CampaignRunner(cfg).run({scenario("good"), bad}),
+      std::runtime_error);
+}
+
+TEST_F(CampaignTest, ValidationErrors) {
+  CampaignConfig cfg;
+  cfg.seeds_per_scenario = 0;
+  EXPECT_THROW(CampaignRunner{cfg}, InvalidArgument);
+
+  const CampaignRunner runner;
+  EXPECT_THROW((void)runner.run({}), InvalidArgument);
+
+  CampaignScenario no_factory = scenario("no-factory");
+  no_factory.build = nullptr;
+  EXPECT_THROW((void)runner.run({no_factory}), InvalidArgument);
+
+  CampaignScenario bad_window = scenario("bad-window");
+  bad_window.window_end = bad_window.window_start;
+  EXPECT_THROW((void)runner.run({bad_window}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "sim/facility_sim.hpp"
 #include "util/error.hpp"
@@ -122,6 +123,49 @@ TEST_F(FacilitySimTest, PolicyChangeAppliesToNewJobsOnly) {
   EXPECT_LT(after, before * 0.92);
 }
 
+TEST_F(FacilitySimTest, PreWindowPolicyChangeAppliesAtWindowStart) {
+  // A change scheduled before the run window must not be dropped: it arms
+  // the policy at the window start, exactly as if set_policy had been
+  // called — bit-identical telemetry included.
+  FacilitySimulator armed(cat_, small_config(41));
+  armed.set_policy(OperatingPolicy::baseline());
+  armed.schedule_policy_change(start() - Duration::days(3.0),
+                               OperatingPolicy::performance_determinism());
+
+  FacilitySimulator direct(cat_, small_config(41));
+  direct.set_policy(OperatingPolicy::performance_determinism());
+
+  armed.run(start(), start() + Duration::days(5.0));
+  direct.run(start(), start() + Duration::days(5.0));
+
+  for (const auto& r : armed.completed()) {
+    EXPECT_EQ(r.mode, DeterminismMode::kPerformanceDeterminism);
+  }
+  const auto& sa = armed.telemetry().channel(channels::kCabinetKw);
+  const auto& sb = direct.telemetry().channel(channels::kCabinetKw);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].value, sb[i].value);
+  }
+}
+
+TEST_F(FacilitySimTest, LatestOfSeveralPreWindowChangesWins) {
+  FacilitySimulator sim(cat_, small_config(43));
+  sim.set_policy(OperatingPolicy::baseline());
+  sim.schedule_policy_change(start() - Duration::days(5.0),
+                             OperatingPolicy::low_frequency_default());
+  sim.schedule_policy_change(start() - Duration::days(2.0),
+                             OperatingPolicy::performance_determinism());
+  sim.run(start(), start() + Duration::days(3.0));
+  ASSERT_GT(sim.completed().size(), 10u);
+  for (const auto& r : sim.completed()) {
+    // performance_determinism keeps the turbo P-state; low_frequency would
+    // have moved un-pinned jobs to kMid.
+    EXPECT_EQ(r.mode, DeterminismMode::kPerformanceDeterminism);
+    EXPECT_EQ(r.pstate, pstates::kHighTurbo);
+  }
+}
+
 TEST_F(FacilitySimTest, UserPinnedJobsKeepTurboAfterChange) {
   auto cfg = small_config(13);
   cfg.gen.user_turbo_pin_fraction = 0.3;
@@ -234,6 +278,64 @@ TEST_F(FacilitySimTest, MaintenanceValidation) {
                StateError);
 }
 
+TEST_F(FacilitySimTest, MaintenanceQueuedJobsReleaseExactlyOnce) {
+  // Jobs queued during the block must start exactly once after the window
+  // ends — no duplicated releases, no lost jobs.
+  auto cfg = small_config(47);
+  FacilitySimulator sim(cat_, cfg);
+  const SimTime block = start() + Duration::days(7.0);
+  const SimTime resume = block + Duration::hours(18.0);
+  sim.schedule_maintenance(block, resume);
+  sim.run(start(), start() + Duration::days(14.0));
+
+  std::set<JobId> ids;
+  for (const auto& r : sim.completed()) {
+    EXPECT_TRUE(ids.insert(r.spec.id).second)
+        << "job " << r.spec.id << " completed twice";
+    EXPECT_FALSE(r.start_time >= block && r.start_time < resume);
+  }
+  // The backlog accumulated during the block drains after resume: some of
+  // the completed jobs must have started in the first hours after it.
+  std::size_t released_after = 0;
+  for (const auto& r : sim.completed()) {
+    if (r.start_time >= resume &&
+        r.start_time < resume + Duration::hours(6.0)) {
+      ++released_after;
+    }
+  }
+  EXPECT_GT(released_after, 0u);
+}
+
+TEST_F(FacilitySimTest, DrainedMachineSitsExactlyOnTheIdleFloor) {
+  // The busy-power accumulator is a compensated sum that resets to exactly
+  // zero when the machine empties: with clean meters, a fully drained
+  // sample must equal the idle floor to the last bit — no residue from the
+  // hundreds of thousands of add/subtract pairs before the drain.
+  auto cfg = small_config(49);
+  cfg.metering_noise_sigma = 0.0;
+  FacilitySimulator sim(cat_, cfg);
+  const SimTime block = start() + Duration::days(7.0);
+  const SimTime resume = block + Duration::days(3.0);  // outlasts any job
+  sim.schedule_maintenance(block, resume);
+  sim.run(start(), start() + Duration::days(12.0));
+
+  const auto& util = sim.telemetry().channel(channels::kUtilisation);
+  const auto& fleet = sim.telemetry().channel(channels::kNodeFleetKw);
+  ASSERT_EQ(util.size(), fleet.size());
+  const double idle_floor_kw =
+      cfg.node_params.idle.w() *
+      static_cast<double>(cfg.inventory.compute_nodes) / 1000.0;
+  std::size_t drained_samples = 0;
+  for (std::size_t i = 0; i < util.size(); ++i) {
+    if (util[i].value == 0.0) {
+      ++drained_samples;
+      ASSERT_DOUBLE_EQ(fleet[i].value, idle_floor_kw)
+          << "at " << iso_date_time(fleet[i].time);
+    }
+  }
+  EXPECT_GT(drained_samples, 10u);
+}
+
 
 TEST_F(FacilitySimTest, TraceReplayRunsExactlyTheGivenJobs) {
   // Build a small explicit trace and replay it.
@@ -285,6 +387,33 @@ TEST_F(FacilitySimTest, TraceReplayIgnoresOutOfWindowJobs) {
   EXPECT_EQ(sim.completed().size(), 1u);
 }
 
+
+TEST_F(FacilitySimTest, TraceWindowBoundariesAreHalfOpen) {
+  // submit_time == start is inside the window; == end is outside.
+  auto make_job = [&](JobId id, SimTime submit) {
+    JobSpec j;
+    j.id = id;
+    j.app = "VASP (production)";
+    j.nodes = 4;
+    j.ref_runtime = Duration::hours(1.0);
+    j.requested_walltime = Duration::hours(2.0);
+    j.submit_time = submit;
+    return j;
+  };
+  const SimTime window_end = start() + Duration::days(2.0);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(make_job(1, start()));                        // included
+  jobs.push_back(make_job(2, start() + Duration::hours(5.0))); // included
+  jobs.push_back(make_job(3, window_end));                     // excluded
+  FacilitySimulator sim(cat_, small_config(53));
+  sim.run_trace(jobs, start(), window_end);
+  ASSERT_EQ(sim.completed().size(), 2u);
+  std::set<JobId> ids;
+  for (const auto& r : sim.completed()) ids.insert(r.spec.id);
+  EXPECT_TRUE(ids.count(1));
+  EXPECT_TRUE(ids.count(2));
+  EXPECT_FALSE(ids.count(3));
+}
 
 TEST_F(FacilitySimTest, EnergyConservationAcrossAccountingViews) {
   // The cabinet-energy integral must equal the sum of job energies plus

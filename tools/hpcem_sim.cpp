@@ -12,11 +12,11 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/facility.hpp"
+#include "core/assembly.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -68,40 +68,41 @@ int main(int argc, char** argv) {
     std::cerr << "error: bad --start/--end date or --policy\n";
     return 2;
   }
-  std::optional<SimTime> change;
-  std::optional<OperatingPolicy> after;
+
+  // One declarative spec drives the whole run.
+  ScenarioSpec spec;
+  spec.name = "hpcem_sim";
+  spec.window_start = sim_time_from_date(*start_d);
+  spec.window_end = sim_time_from_date(*end_d);
+  spec.policy = *policy;
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.warmup = Duration::days(args.get_double("warmup-days"));
+
   if (!args.get("change").empty() || !args.get("after").empty()) {
     const auto change_d = parse_date(args.get("change"));
-    after = parse_policy(args.get("after"));
+    const auto after = parse_policy(args.get("after"));
     if (!change_d || !after) {
       std::cerr << "error: --change and --after must both be valid\n";
       return 2;
     }
-    change = sim_time_from_date(*change_d);
+    const SimTime change = sim_time_from_date(*change_d);
+    if (change <= spec.window_start || change >= spec.window_end) {
+      std::cerr << "error: --change must fall inside the window\n";
+      return 2;
+    }
+    spec.changes.push_back({change, *after});
   }
 
-  const Facility facility = Facility::archer2();
-  ScenarioRunner runner(facility,
-                        static_cast<std::uint64_t>(args.get_int("seed")));
-  runner.set_warmup(Duration::days(args.get_double("warmup-days")));
-
   try {
-    const TimelineResult result = runner.run_campaign(
-        sim_time_from_date(*start_d), sim_time_from_date(*end_d), *policy,
-        change, after);
+    const FacilityAssembly assembly(spec);
+    // One run serves the timeline, the service metrics and the CSV dump.
+    const auto sim = assembly.run_simulator();
+    const TimelineResult result = analyze_timeline(*sim, spec);
     std::cout << render_timeline(
         result, "hpcem_sim: " + args.get("start") + " .. " +
                     args.get("end") + " (" + args.get("policy") + ")");
 
     if (args.get_flag("metrics")) {
-      // Metrics need job records: re-run with direct simulator access.
-      auto sim = facility.make_simulator(
-          static_cast<std::uint64_t>(args.get_int("seed")));
-      sim->set_policy(*policy);
-      if (change) sim->schedule_policy_change(*change, *after);
-      sim->run(sim_time_from_date(*start_d) -
-                   Duration::days(args.get_double("warmup-days")),
-               sim_time_from_date(*end_d));
       std::cout << '\n'
                 << render_service_metrics(
                        compute_service_metrics(sim->completed()));
