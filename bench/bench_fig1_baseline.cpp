@@ -4,13 +4,15 @@
 
 #include "core/assembly.hpp"
 #include "core/report.hpp"
+#include "core/run_artifact.hpp"
 #include "telemetry/seasonal.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
   const FacilityAssembly assembly(ScenarioSpec::figure1());
-  const TimelineResult result = assembly.run();
+  const auto sim = assembly.run_simulator();
+  const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(
                    result,
                    "Figure 1: simulated ARCHER2 compute-cabinet power, "
@@ -24,5 +26,10 @@ int main() {
             << TextTable::num(weekly.weekday_weekend_delta, 0)
             << " kW, residual noise sigma "
             << TextTable::num(weekly.residual_stddev, 0) << " kW\n";
+
+  const RunArtifact artifact =
+      make_run_artifact(*sim, assembly.spec(), result);
+  std::cout << "\nartifact written: "
+            << write_artifact_files(artifact, "figure1") << '\n';
   return 0;
 }

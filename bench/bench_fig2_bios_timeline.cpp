@@ -4,11 +4,13 @@
 
 #include "core/assembly.hpp"
 #include "core/report.hpp"
+#include "core/run_artifact.hpp"
 
 int main() {
   using namespace hpcem;
   const FacilityAssembly assembly(ScenarioSpec::figure2());
-  const TimelineResult result = assembly.run();
+  const auto sim = assembly.run_simulator();
+  const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(
                    result,
                    "Figure 2: simulated cabinet power, Apr - May 2022 "
@@ -16,5 +18,10 @@ int main() {
             << '\n';
   std::cout << "Paper means: 3,220 kW before the change, 3,010 kW after "
                "(210 kW / 6.5% saving).\n";
+
+  const RunArtifact artifact =
+      make_run_artifact(*sim, assembly.spec(), result);
+  std::cout << "\nartifact written: "
+            << write_artifact_files(artifact, "figure2") << '\n';
   return 0;
 }

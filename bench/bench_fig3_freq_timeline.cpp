@@ -5,11 +5,13 @@
 
 #include "core/assembly.hpp"
 #include "core/report.hpp"
+#include "core/run_artifact.hpp"
 
 int main() {
   using namespace hpcem;
   const FacilityAssembly assembly(ScenarioSpec::figure3());
-  const TimelineResult result = assembly.run();
+  const auto sim = assembly.run_simulator();
+  const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(
                    result,
                    "Figure 3: simulated cabinet power, Nov - Dec 2022 "
@@ -17,5 +19,10 @@ int main() {
             << '\n';
   std::cout << "Paper means: 3,010 kW before the change, 2,530 kW after "
                "(480 kW; 21% cumulative vs the 3,220 kW baseline).\n";
+
+  const RunArtifact artifact =
+      make_run_artifact(*sim, assembly.spec(), result);
+  std::cout << "\nartifact written: "
+            << write_artifact_files(artifact, "figure3") << '\n';
   return 0;
 }

@@ -54,6 +54,11 @@ void validate(const ScenarioSpec& spec) {
             "ScenarioSpec '" + spec.name +
                 "': turbo pin fraction must be in [0,1]");
   }
+  if (spec.telemetry_max_raw_samples) {
+    require(*spec.telemetry_max_raw_samples >= 2,
+            "ScenarioSpec '" + spec.name +
+                "': telemetry retention cap must be >= 2");
+  }
 }
 
 }  // namespace
@@ -129,6 +134,9 @@ FacilitySimConfig FacilityAssembly::sim_config(std::uint64_t seed) const {
   if (spec_.offered_load) cfg.gen.offered_load = *spec_.offered_load;
   if (spec_.user_turbo_pin_fraction) {
     cfg.gen.user_turbo_pin_fraction = *spec_.user_turbo_pin_fraction;
+  }
+  if (spec_.telemetry_max_raw_samples) {
+    cfg.telemetry_max_raw_samples = *spec_.telemetry_max_raw_samples;
   }
   return cfg;
 }
@@ -208,7 +216,7 @@ TimelineResult analyze_timeline(const FacilitySimulator& sim,
   r.window_end = end;
   r.change_time = change;
   r.cabinet_kw =
-      sim.telemetry().channel(channels::kCabinetKw).slice(start, end);
+      sim.telemetry().series(sim.cabinet_channel()).slice(start, end);
   require_state(r.cabinet_kw.size() >= 16,
                 "analyze_timeline: window produced too few samples");
   r.mean_kw = r.cabinet_kw.mean();

@@ -73,6 +73,9 @@ struct ScenarioSpec {
   std::optional<double> metering_noise_sigma;
   std::optional<double> offered_load;
   std::optional<double> user_turbo_pin_fraction;
+  /// Memory-bounded telemetry retention: per-channel raw-sample cap for
+  /// long campaigns (aggregates stay exact; raw samples are decimated).
+  std::optional<std::size_t> telemetry_max_raw_samples;
 
   /// Optional plant components appended to the standard composition
   /// (outside the cabinet metering boundary; extra telemetry channels).

@@ -22,8 +22,10 @@ ScenarioOutcome run_one(const CampaignScenario& scenario,
 
   const SimTime a = scenario.window_start;
   const SimTime b = scenario.window_end;
+  // Handle-based access: the simulator interned the cabinet channel at
+  // composition time.
   const TimeSeries window =
-      sim->telemetry().channel(channels::kCabinetKw).slice(a, b);
+      sim->telemetry().series(sim->cabinet_channel()).slice(a, b);
   require_state(!window.empty(),
                 "CampaignRunner: scenario '" + scenario.name +
                     "' produced no window samples");

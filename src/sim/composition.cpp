@@ -84,22 +84,22 @@ Power CoolingOverheadSource::power(const SimSnapshot& s) const {
 }
 
 void UtilisationProbe::declare_channels(Recorder& recorder) {
-  recorder.channel(channels::kUtilisation, "fraction");
+  utilisation_ = recorder.declare(channels::kUtilisation, "fraction");
 }
 
 void UtilisationProbe::on_sample(const SimSnapshot& s, Recorder& recorder) {
-  recorder.record(channels::kUtilisation, s.now, s.utilisation);
+  recorder.record(utilisation_, s.now, s.utilisation);
 }
 
 void QueueStateProbe::declare_channels(Recorder& recorder) {
-  recorder.channel(channels::kQueueLength, "jobs");
-  recorder.channel(channels::kRunningJobs, "jobs");
+  queue_length_ = recorder.declare(channels::kQueueLength, "jobs");
+  running_jobs_ = recorder.declare(channels::kRunningJobs, "jobs");
 }
 
 void QueueStateProbe::on_sample(const SimSnapshot& s, Recorder& recorder) {
-  recorder.record(channels::kQueueLength, s.now,
+  recorder.record(queue_length_, s.now,
                   static_cast<double>(s.queue_length));
-  recorder.record(channels::kRunningJobs, s.now,
+  recorder.record(running_jobs_, s.now,
                   static_cast<double>(s.running_jobs));
 }
 

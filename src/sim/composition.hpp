@@ -95,7 +95,9 @@ class TelemetryProbe {
   virtual ~TelemetryProbe() = default;
 
   /// Declare the channels the probe records (called once, at simulator
-  /// construction).
+  /// construction).  Implementations should keep the `ChannelId` handles
+  /// `Recorder::declare` returns and record through them in `on_sample` —
+  /// the name is resolved once here, never on the per-sample path.
   virtual void declare_channels(Recorder& recorder) = 0;
 
   /// Record this instant's values.  `s` carries the fully-accumulated
@@ -210,6 +212,9 @@ class UtilisationProbe final : public TelemetryProbe {
  public:
   void declare_channels(Recorder& recorder) override;
   void on_sample(const SimSnapshot& s, Recorder& recorder) override;
+
+ private:
+  ChannelId utilisation_;
 };
 
 /// Records queue length and running-job count.
@@ -217,6 +222,10 @@ class QueueStateProbe final : public TelemetryProbe {
  public:
   void declare_channels(Recorder& recorder) override;
   void on_sample(const SimSnapshot& s, Recorder& recorder) override;
+
+ private:
+  ChannelId queue_length_;
+  ChannelId running_jobs_;
 };
 
 }  // namespace hpcem

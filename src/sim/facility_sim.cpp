@@ -44,9 +44,13 @@ FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
   sched_cfg.weights = config_.sched_weights;
   scheduler_ = std::make_unique<Scheduler>(sched_cfg);
 
-  recorder_.channel(channels::kCabinetKw, "kW");
+  if (config_.telemetry_max_raw_samples != 0) {
+    recorder_.set_max_raw_samples(config_.telemetry_max_raw_samples);
+  }
+  cabinet_channel_ = recorder_.declare(channels::kCabinetKw, "kW");
+  source_channels_.reserve(composition_.sources.size());
   for (const auto& source : composition_.sources) {
-    recorder_.channel(source->channel(), "kW");
+    source_channels_.push_back(recorder_.declare(source->channel(), "kW"));
   }
   for (const auto& probe : composition_.probes) {
     probe->declare_channels(recorder_);
@@ -246,17 +250,17 @@ void FacilitySimulator::sample() {
   // later sources (and the cabinet meter) see.
   double metered_w = 0.0;
   double total_w = 0.0;
-  for (const auto& source : composition_.sources) {
+  for (std::size_t i = 0; i < composition_.sources.size(); ++i) {
+    const auto& source = composition_.sources[i];
     s.metered_power_so_far_w = metered_w;
     s.total_power_so_far_w = total_w;
     const Power p = source->power(s);
     if (source->metered()) metered_w += p.w();
     total_w += p.w();
-    recorder_.record(source->channel(), s.now,
+    recorder_.record(source_channels_[i], s.now,
                      p.kw() * (source->noisy() ? noise : 1.0));
   }
-  recorder_.record(channels::kCabinetKw, s.now,
-                   metered_w / 1000.0 * noise);
+  recorder_.record(cabinet_channel_, s.now, metered_w / 1000.0 * noise);
 
   s.metered_power_so_far_w = metered_w;
   s.total_power_so_far_w = total_w;
@@ -266,7 +270,7 @@ void FacilitySimulator::sample() {
 }
 
 double FacilitySimulator::mean_cabinet_kw(SimTime a, SimTime b) const {
-  return recorder_.channel(channels::kCabinetKw).mean_over(a, b);
+  return recorder_.series(cabinet_channel_).mean_over(a, b);
 }
 
 double FacilitySimulator::mean_utilisation(SimTime a, SimTime b) const {
@@ -275,7 +279,7 @@ double FacilitySimulator::mean_utilisation(SimTime a, SimTime b) const {
 
 Energy FacilitySimulator::cabinet_energy() const {
   // The channel is in kW; integrate() returns kW-seconds.
-  const double kws = recorder_.channel(channels::kCabinetKw).integrate();
+  const double kws = recorder_.series(cabinet_channel_).integrate();
   return Energy::kilojoules(kws);
 }
 

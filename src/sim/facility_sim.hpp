@@ -46,6 +46,11 @@ struct FacilitySimConfig {
   Duration sample_interval = Duration::minutes(30.0);
   /// Multiplicative per-sample metering noise (std dev).
   double metering_noise_sigma = 0.006;
+  /// Memory-bounded telemetry retention: cap on retained raw samples per
+  /// channel (0 = keep everything).  Channel aggregates stay exact; raw
+  /// samples are decimated once a channel exceeds the cap — see
+  /// TimeSeries::set_max_raw_samples.
+  std::size_t telemetry_max_raw_samples = 0;
   std::uint64_t seed = 0xA2C4E6;
 };
 
@@ -94,6 +99,11 @@ class FacilitySimulator {
   void run_trace(std::vector<JobSpec> jobs, SimTime start, SimTime end);
 
   [[nodiscard]] const Recorder& telemetry() const { return recorder_; }
+  /// Interned handle of the cabinet-meter channel (resolved at
+  /// construction; pair with telemetry().series()).
+  [[nodiscard]] ChannelId cabinet_channel() const {
+    return cabinet_channel_;
+  }
   [[nodiscard]] const std::vector<JobRecord>& completed() const {
     return completed_;
   }
@@ -130,6 +140,11 @@ class FacilitySimulator {
   const AppCatalog* catalog_;
   FacilitySimConfig config_;
   SimComposition composition_;
+  /// Interned channel handles, resolved once at construction: the cabinet
+  /// meter plus one per source (in composition order).  sample() records
+  /// through these — no per-sample name lookup.
+  ChannelId cabinet_channel_;
+  std::vector<ChannelId> source_channels_;
   OperatingPolicy policy_ = OperatingPolicy::baseline();
   Rng rng_;
   SimEngine engine_;

@@ -3,21 +3,84 @@
 // `Recorder` is the facility simulator's sink: named channels ("cabinet_kw",
 // "utilisation", ...) each backed by a TimeSeries, with CSV export matching
 // the layout a real telemetry database dump would have.
+//
+// Channels are *interned*: `declare()` resolves a name to a dense
+// `ChannelId` exactly once, at composition time, and the per-sample hot
+// path `record(ChannelId, ...)` is an index into a dense channel table —
+// no string hashing or map walk per sample.  The string-keyed overloads
+// remain for composition-time setup, tools and tests; they resolve through
+// the intern map and cost a lookup per call.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "telemetry/timeseries.hpp"
-#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
 
 namespace hpcem {
+
+/// Dense handle to an interned recorder channel.  Obtained from
+/// `Recorder::declare`/`find`/`id`; valid for the lifetime of the recorder
+/// that issued it.
+class ChannelId {
+ public:
+  constexpr ChannelId() = default;
+
+  [[nodiscard]] constexpr std::uint32_t index() const { return index_; }
+  [[nodiscard]] constexpr bool valid() const { return index_ != kInvalid; }
+
+  friend constexpr bool operator==(ChannelId, ChannelId) = default;
+
+ private:
+  friend class Recorder;
+  constexpr explicit ChannelId(std::uint32_t index) : index_(index) {}
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t index_ = kInvalid;
+};
 
 /// Named collection of telemetry channels.
 class Recorder {
  public:
+  /// Intern (or re-fetch) a channel, returning its dense handle.
+  /// Re-declaring an existing channel with a different unit is an error.
+  ChannelId declare(const std::string& name, const std::string& unit);
+
+  /// Handle of an existing channel, nullopt if absent.
+  [[nodiscard]] std::optional<ChannelId> find(const std::string& name) const;
+
+  /// Handle of an existing channel; throws StateError if absent.
+  [[nodiscard]] ChannelId id(const std::string& name) const;
+
+  /// Record one sample through a handle (the hot path).
+  void record(ChannelId id, SimTime t, double value) {
+    HPCEM_ASSERT(id.index() < channels_.size(),
+                 "Recorder::record: invalid channel id");
+    channels_[id.index()]->series.append(t, value);
+  }
+
+  /// Series behind a handle.
+  [[nodiscard]] const TimeSeries& series(ChannelId id) const;
+  [[nodiscard]] TimeSeries& series(ChannelId id);
+  /// Name behind a handle.
+  [[nodiscard]] const std::string& name(ChannelId id) const;
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  /// Bound retained raw samples per channel (applies to every current and
+  /// future channel; 0 = unbounded).  Aggregates stay exact; see
+  /// TimeSeries::set_max_raw_samples.
+  void set_max_raw_samples(std::size_t cap);
+
+  // -- String-keyed API (composition-time setup, tools, tests). -------------
+
   /// Create (or fetch) a channel with the given unit label.  Re-declaring an
   /// existing channel with a different unit is an error.
   TimeSeries& channel(const std::string& name, const std::string& unit);
@@ -26,16 +89,31 @@ class Recorder {
   [[nodiscard]] const TimeSeries& channel(const std::string& name) const;
 
   [[nodiscard]] bool has_channel(const std::string& name) const;
+  /// Channel names in lexicographic order.
   [[nodiscard]] std::vector<std::string> channel_names() const;
 
-  /// Record one sample on a channel that must already exist.
+  /// Record one sample on a channel that must already exist (resolves the
+  /// name per call; prefer the ChannelId overload on hot paths).
   void record(const std::string& name, SimTime t, double value);
 
   /// Export all channels as long-format CSV: time_iso,channel,unit,value.
+  /// Channels appear in name order, samples in time order.
   [[nodiscard]] std::string to_csv() const;
 
  private:
-  std::map<std::string, TimeSeries> channels_;
+  struct Channel {
+    std::string name;
+    TimeSeries series;
+  };
+
+  // Dense handle-indexed table.  One pointer hop per channel keeps
+  // `TimeSeries&` references stable across later declares (callers hold
+  // them across composition) while indexing stays a single vector load on
+  // the per-sample path.
+  std::vector<std::unique_ptr<Channel>> channels_;
+  // Sorted name -> index intern map (also drives export ordering).
+  std::map<std::string, std::uint32_t> index_;
+  std::size_t max_raw_ = 0;
 };
 
 /// Fixed-width rolling window over a scalar stream (mean/min/max).
@@ -53,7 +131,9 @@ class RollingWindow {
  private:
   std::size_t capacity_;
   std::deque<double> buf_;
-  double sum_ = 0.0;
+  /// Compensated: a long stream performs one add+subtract per sample and a
+  /// naive running sum drifts by an ulp per operation.
+  CompensatedSum sum_;
 };
 
 }  // namespace hpcem

@@ -7,25 +7,60 @@
 
 namespace hpcem {
 
-void TimeSeries::append(SimTime time, double value) {
-  if (!samples_.empty()) {
-    require(time >= samples_.back().time,
-            "TimeSeries::append: samples must be time-ordered");
+void TimeSeries::set_max_raw_samples(std::size_t cap) {
+  require(cap == 0 || cap >= 2,
+          "TimeSeries::set_max_raw_samples: cap must be 0 (unbounded) or "
+          ">= 2");
+  max_raw_ = cap;
+  enforce_retention();
+}
+
+void TimeSeries::enforce_retention() {
+  while (max_raw_ != 0 && samples_.size() > max_raw_) {
+    // Keep even positions: the retained set stays a uniform subsample of
+    // the appended stream (indices that are multiples of the new stride).
+    for (std::size_t i = 0; 2 * i < samples_.size(); ++i) {
+      samples_[i] = samples_[2 * i];
+    }
+    samples_.resize((samples_.size() + 1) / 2);
+    keep_stride_ *= 2;
   }
-  samples_.push_back({time, value});
+}
+
+double TimeSeries::value_min() const {
+  require_state(total_appended_ > 0, "TimeSeries::value_min: empty series");
+  return min_;
+}
+
+double TimeSeries::value_max() const {
+  require_state(total_appended_ > 0, "TimeSeries::value_max: empty series");
+  return max_;
 }
 
 SimTime TimeSeries::start_time() const {
-  require_state(!samples_.empty(), "TimeSeries::start_time: empty series");
-  return samples_.front().time;
+  require_state(total_appended_ > 0, "TimeSeries::start_time: empty series");
+  return first_time_;
 }
 
 SimTime TimeSeries::end_time() const {
-  require_state(!samples_.empty(), "TimeSeries::end_time: empty series");
-  return samples_.back().time;
+  require_state(total_appended_ > 0, "TimeSeries::end_time: empty series");
+  return last_time_;
 }
 
 Duration TimeSeries::span() const { return end_time() - start_time(); }
+
+std::pair<std::size_t, std::size_t> TimeSeries::window_bounds(
+    SimTime start, SimTime end) const {
+  const auto time_less = [](const Sample& s, SimTime when) {
+    return s.time < when;
+  };
+  const auto first = std::lower_bound(samples_.begin(), samples_.end(),
+                                      start, time_less);
+  const auto last =
+      std::lower_bound(first, samples_.end(), end, time_less);
+  return {static_cast<std::size_t>(first - samples_.begin()),
+          static_cast<std::size_t>(last - samples_.begin())};
+}
 
 std::vector<double> TimeSeries::values() const {
   std::vector<double> out;
@@ -36,41 +71,29 @@ std::vector<double> TimeSeries::values() const {
 
 TimeSeries TimeSeries::slice(SimTime start, SimTime end) const {
   TimeSeries out(unit_);
-  for (const auto& s : samples_) {
-    if (s.time >= start && s.time < end) out.append(s.time, s.value);
+  const auto [first, last] = window_bounds(start, end);
+  for (std::size_t i = first; i < last; ++i) {
+    out.append(samples_[i].time, samples_[i].value);
   }
   return out;
 }
 
 double TimeSeries::mean_over(SimTime start, SimTime end) const {
+  const auto [first, last] = window_bounds(start, end);
   RunningStats rs;
-  for (const auto& s : samples_) {
-    if (s.time >= start && s.time < end) rs.add(s.value);
-  }
+  for (std::size_t i = first; i < last; ++i) rs.add(samples_[i].value);
   require_state(!rs.empty(), "TimeSeries::mean_over: no samples in window");
   return rs.mean();
 }
 
 double TimeSeries::mean() const {
-  require_state(!samples_.empty(), "TimeSeries::mean: empty series");
-  RunningStats rs;
-  for (const auto& s : samples_) rs.add(s.value);
-  return rs.mean();
+  require_state(total_appended_ > 0, "TimeSeries::mean: empty series");
+  return sum_.value() / static_cast<double>(total_appended_);
 }
 
 Summary TimeSeries::summary() const {
   const auto vals = values();
   return summarize(vals);
-}
-
-double TimeSeries::integrate() const {
-  if (samples_.size() < 2) return 0.0;
-  double total = 0.0;
-  for (std::size_t i = 1; i < samples_.size(); ++i) {
-    const double dt = (samples_[i].time - samples_[i - 1].time).sec();
-    total += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
-  }
-  return total;
 }
 
 double TimeSeries::value_at(SimTime t) const {
@@ -93,8 +116,8 @@ TimeSeries TimeSeries::resample(Duration interval) const {
   require(interval.sec() > 0.0, "TimeSeries::resample: interval must be > 0");
   TimeSeries out(unit_);
   if (samples_.empty()) return out;
-  const SimTime t0 = start_time();
-  const SimTime t1 = end_time();
+  const SimTime t0 = samples_.front().time;
+  const SimTime t1 = samples_.back().time;
   std::size_t idx = 0;
   for (SimTime bucket = t0; bucket <= t1; bucket += interval) {
     const SimTime bucket_end = bucket + interval;

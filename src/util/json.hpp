@@ -1,0 +1,101 @@
+// Minimal JSON value model, serializer and parser.
+//
+// The run-artifact layer (core/run_artifact.hpp) exchanges structured
+// results between benches, tools and external analysis as JSON.  Scope: the
+// JSON the library itself writes — objects (insertion-ordered), arrays,
+// strings (with standard escapes), finite doubles, bools and null.  It is
+// not a general-purpose JSON engine: no surrogate-pair decoding beyond
+// \uXXXX -> UTF-8, no comments, no NaN/Infinity extensions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcem {
+
+/// One JSON value: null, bool, number, string, array or object.  Objects
+/// preserve insertion order so serialized artifacts are deterministic and
+/// diffable.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double n);                                         // NOLINT
+  JsonValue(int n) : JsonValue(static_cast<double>(n)) {}      // NOLINT
+  JsonValue(std::size_t n)                                     // NOLINT
+      : JsonValue(static_cast<double>(n)) {}
+  JsonValue(std::string s)                                     // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  JsonValue(Object o)                                          // NOLINT
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] static JsonValue object() { return JsonValue(Object{}); }
+  [[nodiscard]] static JsonValue array() { return JsonValue(Array{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ParseError on a type mismatch (the artifact
+  /// reader treats a mistyped field like malformed input).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Set a member on an object value (must be an object).  A new key
+  /// appends, keeping insertion order; an existing key is overwritten in
+  /// place.
+  void set(std::string key, JsonValue value);
+  /// Append an element to an array value (must be an array).
+  void push_back(JsonValue value);
+
+  /// Member lookup on an object: nullptr when absent.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  /// Member lookup on an object; throws ParseError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Serialize.  `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact single-line JSON.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document; throws ParseError on malformed input
+  /// or trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape and double-quote a string for JSON output.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal rendering of a finite double ("17" not
+/// "17.000000"); used for every number the artifact layer writes.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace hpcem

@@ -100,6 +100,48 @@ std::string iso_date(const CivilDate& d) {
   return buf;
 }
 
+std::optional<SimTime> parse_date_time(std::string_view s) {
+  const auto digits = [&s](std::size_t pos, std::size_t n,
+                           int& out) -> bool {
+    if (pos + n > s.size()) return false;
+    int v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const char c = s[pos + i];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    out = v;
+    return true;
+  };
+
+  int year = 0, month = 0, day = 0;
+  if (!digits(0, 4, year) || s.size() < 10 || s[4] != '-' ||
+      !digits(5, 2, month) || s[7] != '-' || !digits(8, 2, day)) {
+    return std::nullopt;
+  }
+
+  int hh = 0, mm = 0, ss = 0;
+  if (s.size() != 10) {
+    if (s.size() != 16 && s.size() != 19) return std::nullopt;
+    if (s[10] != ' ' && s[10] != 'T') return std::nullopt;
+    if (!digits(11, 2, hh) || s[13] != ':' || !digits(14, 2, mm)) {
+      return std::nullopt;
+    }
+    if (s.size() == 19 && (s[16] != ':' || !digits(17, 2, ss))) {
+      return std::nullopt;
+    }
+  }
+
+  if (month < 1 || month > 12) return std::nullopt;
+  int dim = kDaysInMonth[static_cast<std::size_t>(month - 1)];
+  if (month == 2 && is_leap_year(year)) dim = 29;
+  if (day < 1 || day > dim) return std::nullopt;
+  if (hh > 23 || mm > 59 || ss > 59) return std::nullopt;
+
+  return sim_time_from_date({year, month, day}) + Duration::hours(hh) +
+         Duration::minutes(mm) + Duration::seconds(ss);
+}
+
 std::string iso_date_time(SimTime t) {
   const CivilDate d = date_from_sim_time(t);
   const double s = seconds_into_day(t);

@@ -9,7 +9,9 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/units.hpp"
 
@@ -90,5 +92,13 @@ struct CivilDate {
 
 /// "YYYY-MM-DD hh:mm" rendering of an instant.
 [[nodiscard]] std::string iso_date_time(SimTime t);
+
+/// Strict inverse of iso_date_time.  Accepts "YYYY-MM-DD",
+/// "YYYY-MM-DD hh:mm" and "YYYY-MM-DD hh:mm:ss" (also with 'T' as the
+/// separator); every field must be in range for the actual calendar
+/// (leap years included) and the whole string must be consumed.
+/// Returns nullopt otherwise — out-of-range dates like "2022-13-40" or
+/// trailing garbage never parse.
+[[nodiscard]] std::optional<SimTime> parse_date_time(std::string_view s);
 
 }  // namespace hpcem

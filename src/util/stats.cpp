@@ -39,18 +39,6 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
-void CompensatedSum::add(double x) {
-  // Neumaier's variant of Kahan summation: compensate whichever operand
-  // loses low-order bits in the addition.
-  const double t = sum_ + x;
-  if (std::abs(sum_) >= std::abs(x)) {
-    compensation_ += (sum_ - t) + x;
-  } else {
-    compensation_ += (x - t) + sum_;
-  }
-  sum_ = t;
-}
-
 double RunningStats::mean() const {
   require_state(n_ > 0, "RunningStats::mean on empty accumulator");
   return mean_;

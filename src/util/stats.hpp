@@ -1,6 +1,7 @@
 // Streaming and batch statistics used by the telemetry analysis pipeline.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -43,7 +44,18 @@ class RunningStats {
 /// peak magnitude, independent of the operation count.
 class CompensatedSum {
  public:
-  void add(double x);
+  /// Inline: runs once (or more) per telemetry sample on the append path.
+  void add(double x) {
+    // Neumaier's variant of Kahan summation: compensate whichever operand
+    // loses low-order bits in the addition.
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
   void subtract(double x) { add(-x); }
   [[nodiscard]] double value() const { return sum_ + compensation_; }
   void reset() {

@@ -1,6 +1,8 @@
 // Unit tests for the TimeSeries container.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "telemetry/timeseries.hpp"
 #include "util/error.hpp"
 
@@ -138,6 +140,97 @@ TEST(TimeSeries, SummaryStatistics) {
   EXPECT_EQ(s.count, 101u);
   EXPECT_DOUBLE_EQ(s.median, 50.0);
   EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(TimeSeries, OnlineAggregatesMatchDirectComputation) {
+  TimeSeries ts("kW");
+  double naive_sum = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double v = 3000.0 + 100.0 * std::sin(0.1 * i);
+    ts.append(SimTime(60.0 * i), v);
+    naive_sum += v;
+  }
+  EXPECT_EQ(ts.total_appended(), 500u);
+  EXPECT_NEAR(ts.value_sum(), naive_sum, 1e-6);
+  EXPECT_NEAR(ts.mean(), naive_sum / 500.0, 1e-9);
+  EXPECT_LE(ts.value_min(), ts.value_max());
+  EXPECT_GE(ts.value_min(), 2900.0);
+  EXPECT_LE(ts.value_max(), 3100.0);
+}
+
+TEST(TimeSeries, RetentionCapDecimatesButAggregatesStayExact) {
+  TimeSeries bounded("kW");
+  TimeSeries unbounded("kW");
+  bounded.set_max_raw_samples(100);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = static_cast<double>(i % 1000);
+    bounded.append(SimTime(static_cast<double>(i)), v);
+    unbounded.append(SimTime(static_cast<double>(i)), v);
+  }
+  EXPECT_LE(bounded.size(), 100u);
+  EXPECT_TRUE(bounded.decimated());
+  EXPECT_EQ(bounded.total_appended(), 100000u);
+  // Aggregates are exact — identical to the unbounded series, which saw
+  // the same appends in the same order.
+  EXPECT_EQ(bounded.value_sum(), unbounded.value_sum());
+  EXPECT_EQ(bounded.mean(), unbounded.mean());
+  EXPECT_EQ(bounded.integrate(), unbounded.integrate());
+  EXPECT_EQ(bounded.value_min(), unbounded.value_min());
+  EXPECT_EQ(bounded.value_max(), unbounded.value_max());
+  EXPECT_EQ(bounded.start_time(), unbounded.start_time());
+  EXPECT_EQ(bounded.end_time(), unbounded.end_time());
+}
+
+TEST(TimeSeries, RetainedSamplesAreUniformSubsample) {
+  TimeSeries ts("kW");
+  ts.set_max_raw_samples(16);
+  for (int i = 0; i < 1000; ++i) {
+    ts.append(SimTime(static_cast<double>(i)), static_cast<double>(i));
+  }
+  const std::size_t stride = ts.keep_stride();
+  EXPECT_GT(stride, 1u);
+  // Power-of-two stride; every retained sample sits on a stride multiple.
+  EXPECT_EQ(stride & (stride - 1), 0u);
+  for (const auto& s : ts.samples()) {
+    const auto idx = static_cast<std::size_t>(s.value);
+    EXPECT_EQ(idx % stride, 0u);
+  }
+}
+
+TEST(TimeSeries, RetentionCapValidation) {
+  TimeSeries ts("kW");
+  EXPECT_THROW(ts.set_max_raw_samples(1), InvalidArgument);
+  ts.set_max_raw_samples(0);  // unbounded is fine
+  ts.set_max_raw_samples(2);  // minimum bounded cap is fine
+}
+
+TEST(TimeSeries, WindowBoundsBinarySearch) {
+  TimeSeries ts("kW");
+  for (int i = 0; i < 10; ++i) {
+    ts.append(SimTime(10.0 * i), static_cast<double>(i));
+  }
+  // Half-open [first, last): start inclusive, end exclusive.
+  const auto [a, b] = ts.window_bounds(SimTime(20.0), SimTime(50.0));
+  EXPECT_EQ(a, 2u);
+  EXPECT_EQ(b, 5u);
+  // Window boundaries between samples round inward.
+  const auto [c, d] = ts.window_bounds(SimTime(15.0), SimTime(45.0));
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(d, 5u);
+  // Empty and out-of-range windows.
+  const auto [e, f] = ts.window_bounds(SimTime(200.0), SimTime(300.0));
+  EXPECT_EQ(e, f);
+}
+
+TEST(TimeSeries, EqualTimestampsAllowed) {
+  // Non-decreasing, not strictly increasing: repeated timestamps are fine
+  // (zero-width trapezoid contributes nothing).
+  TimeSeries ts("kW");
+  ts.append(SimTime(0.0), 1.0);
+  ts.append(SimTime(0.0), 3.0);
+  ts.append(SimTime(1.0), 3.0);
+  EXPECT_EQ(ts.total_appended(), 3u);
+  EXPECT_DOUBLE_EQ(ts.integrate(), 3.0);
 }
 
 }  // namespace

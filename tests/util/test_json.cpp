@@ -1,0 +1,121 @@
+// Unit tests for the minimal JSON value/parser used by the run-artifact
+// layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpcem {
+namespace {
+
+TEST(JsonValue, ScalarsAndAccessors) {
+  const JsonValue b = true;
+  const JsonValue n = 3220.5;
+  const JsonValue i = 42;
+  const JsonValue s = "archer2";
+  EXPECT_TRUE(b.as_bool());
+  EXPECT_DOUBLE_EQ(n.as_number(), 3220.5);
+  EXPECT_DOUBLE_EQ(i.as_number(), 42.0);
+  EXPECT_EQ(s.as_string(), "archer2");
+  EXPECT_THROW(b.as_number(), ParseError);
+  EXPECT_THROW(n.as_string(), ParseError);
+  EXPECT_THROW(s.as_array(), ParseError);
+}
+
+TEST(JsonValue, NonFiniteNumbersRejected) {
+  EXPECT_THROW(JsonValue{std::nan("")}, InvalidArgument);
+  EXPECT_THROW(JsonValue{INFINITY}, InvalidArgument);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v.set("zeta", 1);
+  v.set("alpha", 2);
+  v.set("mid", 3);
+  EXPECT_EQ(v.dump(0), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // set() on an existing key overwrites in place.
+  v.set("alpha", 9);
+  EXPECT_EQ(v.dump(0), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonValue, DumpIsDeterministic) {
+  const auto build = [] {
+    JsonValue v = JsonValue::object();
+    v.set("name", "fig2");
+    JsonValue arr = JsonValue::array();
+    arr.push_back(1.5);
+    arr.push_back("two");
+    arr.push_back(JsonValue{});
+    v.set("items", std::move(arr));
+    return v;
+  };
+  EXPECT_EQ(build().dump(2), build().dump(2));
+}
+
+TEST(JsonValue, NumberRenderingRoundTrips) {
+  // Shortest round-trip rendering: parsing the dump recovers the exact
+  // double.
+  for (const double x : {0.0, -0.0, 1.0, 0.1, 3220.8372880533734,
+                         1.0e-300, 1.0e300, -123456.789}) {
+    const JsonValue v = x;
+    const JsonValue back = JsonValue::parse(v.dump(0));
+    EXPECT_EQ(back.as_number(), x) << "value " << x;
+  }
+}
+
+TEST(JsonParse, ObjectsArraysAndNesting) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "e": "x"})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_TRUE(v.at("b").at("d").is_null());
+  EXPECT_EQ(v.at("e").as_string(), "x");
+  EXPECT_EQ(v.get("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), ParseError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue v =
+      JsonValue::parse(R"("line\nbreak \"quoted\" tab\t\\ é")");
+  EXPECT_EQ(v.as_string(), "line\nbreak \"quoted\" tab\t\\ \xc3\xa9");
+}
+
+TEST(JsonParse, QuoteRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  const JsonValue v = JsonValue::parse(json_quote(raw));
+  EXPECT_EQ(v.as_string(), raw);
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(JsonValue::parse(""), ParseError);
+  EXPECT_THROW(JsonValue::parse("{"), ParseError);
+  EXPECT_THROW(JsonValue::parse("[1, 2,]"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": }"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW(JsonValue::parse("'single'"), ParseError);
+  EXPECT_THROW(JsonValue::parse("truee"), ParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), ParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1.2.3"), ParseError);
+}
+
+TEST(JsonParse, RoundTripComplexDocument) {
+  JsonValue v = JsonValue::object();
+  v.set("schema", "hpcem.run_artifact");
+  v.set("version", 1);
+  JsonValue channels = JsonValue::array();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue c = JsonValue::object();
+    c.set("name", "ch" + std::to_string(i));
+    c.set("mean", 3000.0 + 0.1 * i);
+    channels.push_back(std::move(c));
+  }
+  v.set("channels", std::move(channels));
+  const JsonValue back = JsonValue::parse(v.dump(2));
+  EXPECT_EQ(back.dump(2), v.dump(2));
+}
+
+}  // namespace
+}  // namespace hpcem

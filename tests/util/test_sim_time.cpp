@@ -108,5 +108,58 @@ TEST(Calendar, NegativeTimesBeforeEpoch) {
   EXPECT_EQ(d, (CivilDate{1969, 12, 31}));
 }
 
+TEST(ParseDateTime, AcceptedForms) {
+  const SimTime midnight = sim_time_from_date({2022, 5, 9});
+  ASSERT_TRUE(parse_date_time("2022-05-09").has_value());
+  EXPECT_EQ(*parse_date_time("2022-05-09"), midnight);
+  EXPECT_EQ(*parse_date_time("2022-05-09 13:45"),
+            midnight + Duration::hours(13.0) + Duration::minutes(45.0));
+  EXPECT_EQ(*parse_date_time("2022-05-09T13:45"),
+            midnight + Duration::hours(13.0) + Duration::minutes(45.0));
+  EXPECT_EQ(*parse_date_time("2022-05-09 13:45:30"),
+            midnight + Duration::hours(13.0) + Duration::minutes(45.0) +
+                Duration::seconds(30.0));
+}
+
+TEST(ParseDateTime, RoundTripsIsoRendering) {
+  const SimTime t = sim_time_from_date({2022, 12, 1}) +
+                    Duration::hours(7.0) + Duration::minutes(30.0);
+  const auto parsed = parse_date_time(iso_date_time(t));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(ParseDateTime, RejectsOutOfRangeFields) {
+  // Regression: sscanf-based parsing accepted all of these.
+  EXPECT_FALSE(parse_date_time("2022-13-01").has_value());   // month 13
+  EXPECT_FALSE(parse_date_time("2022-00-01").has_value());   // month 0
+  EXPECT_FALSE(parse_date_time("2022-05-40").has_value());   // day 40
+  EXPECT_FALSE(parse_date_time("2022-05-00").has_value());   // day 0
+  EXPECT_FALSE(parse_date_time("2022-04-31").has_value());   // April has 30
+  EXPECT_FALSE(parse_date_time("2022-02-29").has_value());   // not a leap year
+  EXPECT_TRUE(parse_date_time("2020-02-29").has_value());    // leap year
+  EXPECT_FALSE(parse_date_time("2022-05-09 24:00").has_value());  // hour 24
+  EXPECT_FALSE(parse_date_time("2022-05-09 12:60").has_value());  // minute 60
+  EXPECT_FALSE(
+      parse_date_time("2022-05-09 12:30:60").has_value());        // second 60
+}
+
+TEST(ParseDateTime, RejectsPartialAndTrailingInput) {
+  // Regression: sscanf-based parsing accepted trailing garbage and
+  // partially-matched strings.
+  EXPECT_FALSE(parse_date_time("").has_value());
+  EXPECT_FALSE(parse_date_time("2022").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05-09x").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05-09 13:45x").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05-09 13:45:30x").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05-09 13").has_value());
+  EXPECT_FALSE(parse_date_time("2022-05-09 13:4").has_value());
+  EXPECT_FALSE(parse_date_time("2022/05/09").has_value());
+  EXPECT_FALSE(parse_date_time("09-05-2022").has_value());
+  EXPECT_FALSE(parse_date_time("20 2-05-09").has_value());
+  EXPECT_FALSE(parse_date_time("not a date").has_value());
+}
+
 }  // namespace
 }  // namespace hpcem

@@ -9,9 +9,12 @@
 //
 // Example:
 //   hpcem_analyze --csv cabinet_power.csv --value-column cabinet_kw
-#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "core/run_artifact.hpp"
 #include "telemetry/changepoint.hpp"
 #include "telemetry/forecast.hpp"
 #include "telemetry/seasonal.hpp"
@@ -25,16 +28,22 @@ namespace {
 
 using namespace hpcem;
 
+// Timestamps are either strict ISO date-times (see parse_date_time: field
+// ranges validated, whole string consumed) or plain epoch seconds.
 std::optional<SimTime> parse_time(const std::string& s) {
-  int y = 0, mo = 0, d = 0, hh = 0, mm = 0;
-  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d", &y, &mo, &d, &hh, &mm) >= 3) {
-    return sim_time_from_date({y, mo, d}) + Duration::hours(hh) +
-           Duration::minutes(mm);
-  }
+  if (const auto t = parse_date_time(s)) return t;
   char* end = nullptr;
   const double epoch = std::strtod(s.c_str(), &end);
   if (end != s.c_str() && *end == '\0') return SimTime(epoch);
   return std::nullopt;
+}
+
+RunArtifact load_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open artifact: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return RunArtifact::from_json_text(buf.str());
 }
 
 }  // namespace
@@ -50,6 +59,12 @@ int main(int argc, char** argv) {
   args.add_option("min-segment-days", "4",
                   "changepoint minimum segment, in days");
   args.add_option("penalty", "12", "multi-step detection penalty");
+  args.add_option("artifact-out", "",
+                  "write <basename>.artifact.json/.aggregates.csv with the "
+                  "analysis results");
+  args.add_option("compare", "",
+                  "run-artifact JSON to diff the headline numbers against "
+                  "(e.g. a simulated figure run)");
   args.add_flag("no-plot", "skip the ASCII timeline");
 
   if (!args.parse(argc, argv) || args.get("csv").empty()) {
@@ -119,22 +134,27 @@ int main(int argc, char** argv) {
     const auto steps = detect_steps(
         vals, static_cast<std::size_t>(args.get_int("min-segment-days")),
         args.get_double("penalty"));
-    if (steps.empty()) {
+    std::vector<ArtifactChangePoint> found;
+    for (const auto& st : steps) {
+      const SimTime at = detect_on[st.index].time;
+      const double before = series.mean_over(series.start_time(), at);
+      const double after = series.mean_over(
+          at, series.end_time() + Duration::seconds(1.0));
+      found.push_back({at, before, after, /*detected=*/true});
+    }
+    if (found.empty()) {
       std::cout << "no significant level shifts detected\n";
     } else {
       TextTable t({"Change at", "Mean before (kW)", "Mean after (kW)",
                    "Step (kW)"},
                   {Align::kLeft, Align::kRight, Align::kRight,
                    Align::kRight});
-      for (const auto& st : steps) {
-        const SimTime at = detect_on[st.index].time;
-        const double before =
-            series.mean_over(series.start_time(), at);
-        const double after = series.mean_over(
-            at, series.end_time() + Duration::seconds(1.0));
-        t.add_row({iso_date_time(at), TextTable::grouped(before),
-                   TextTable::grouped(after),
-                   TextTable::grouped(after - before)});
+      for (const auto& cp : found) {
+        t.add_row({iso_date_time(cp.at),
+                   TextTable::grouped(cp.mean_before_kw),
+                   TextTable::grouped(cp.mean_after_kw),
+                   TextTable::grouped(cp.mean_after_kw -
+                                      cp.mean_before_kw)});
       }
       std::cout << t.str();
     }
@@ -150,6 +170,53 @@ int main(int argc, char** argv) {
                 << TextTable::grouped(f.mean) << " kW, envelope "
                 << TextTable::grouped(f.min) << " - "
                 << TextTable::grouped(f.max) << " kW\n";
+    }
+
+    // 5. Machine-readable artifact: the same schema the figure benches
+    // and the campaign runner emit, so real telemetry and simulated runs
+    // diff with plain file tools.
+    if (!args.get("artifact-out").empty() || !args.get("compare").empty()) {
+      RunArtifact artifact;
+      artifact.scenario = args.get("csv");
+      artifact.source = "telemetry-csv";
+      artifact.window_start = series.start_time();
+      artifact.window_end = series.end_time();
+      artifact.headline.mean_kw = s.mean;
+      artifact.headline.mean_before_kw = s.mean;
+      artifact.headline.mean_after_kw = s.mean;
+      if (!found.empty()) {
+        artifact.headline.mean_before_kw = found.front().mean_before_kw;
+        artifact.headline.mean_after_kw = found.back().mean_after_kw;
+      }
+      artifact.headline.window_energy_kwh = series.integrate() / 3600.0;
+      artifact.change_points = found;
+      artifact.channels.push_back(
+          aggregate_channel(args.get("value-column"), series));
+
+      if (!args.get("artifact-out").empty()) {
+        std::cout << "\nartifact written: "
+                  << write_artifact_files(artifact, args.get("artifact-out"))
+                  << '\n';
+      }
+      if (!args.get("compare").empty()) {
+        const RunArtifact ref = load_artifact(args.get("compare"));
+        TextTable t({"Headline", "This CSV", ref.scenario, "Delta"},
+                    {Align::kLeft, Align::kRight, Align::kRight,
+                     Align::kRight});
+        const auto row = [&t](const std::string& label, double a,
+                              double b) {
+          t.add_row({label, TextTable::grouped(a), TextTable::grouped(b),
+                     TextTable::grouped(a - b)});
+        };
+        row("mean (kW)", artifact.headline.mean_kw, ref.headline.mean_kw);
+        row("mean before (kW)", artifact.headline.mean_before_kw,
+            ref.headline.mean_before_kw);
+        row("mean after (kW)", artifact.headline.mean_after_kw,
+            ref.headline.mean_after_kw);
+        row("window energy (kWh)", artifact.headline.window_energy_kwh,
+            ref.headline.window_energy_kwh);
+        std::cout << '\n' << t.str();
+      }
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

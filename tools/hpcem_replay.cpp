@@ -15,6 +15,7 @@
 #include "core/accounting.hpp"
 #include "core/facility.hpp"
 #include "core/metrics.hpp"
+#include "core/run_artifact.hpp"
 #include "util/cli.hpp"
 #include "util/text_table.hpp"
 #include "workload/trace.hpp"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   args.add_option("pad-hours", "24",
                   "simulation tail after the last submission");
   args.add_option("seed", "7", "simulation seed (metering noise)");
+  args.add_option("artifact-out", "",
+                  "write <basename>.artifact.json/.aggregates.csv with the "
+                  "replay results");
 
   if (!args.parse(argc, argv) || args.get("trace").empty()) {
     if (!args.error().empty()) std::cerr << "error: " << args.error() << "\n\n";
@@ -89,6 +93,28 @@ int main(int argc, char** argv) {
     std::cout << render_usage_breakdown(account_usage(
         sim->completed(), facility.catalog(),
         CarbonIntensity::g_per_kwh(args.get_double("intensity"))));
+
+    if (!args.get("artifact-out").empty()) {
+      RunArtifact artifact;
+      artifact.scenario = args.get("trace");
+      artifact.source = "trace-replay";
+      artifact.machine = "archer2";
+      artifact.window_start = first;
+      artifact.window_end = end;
+      const double mean_kw = sim->mean_cabinet_kw(first, end);
+      artifact.headline.mean_kw = mean_kw;
+      artifact.headline.mean_before_kw = mean_kw;
+      artifact.headline.mean_after_kw = mean_kw;
+      artifact.headline.window_energy_kwh =
+          sim->telemetry().series(sim->cabinet_channel()).integrate() /
+          3600.0;
+      artifact.headline.completed_jobs =
+          static_cast<double>(sim->completed().size());
+      artifact.channels = aggregate_channels(sim->telemetry());
+      std::cout << "\nartifact written: "
+                << write_artifact_files(artifact, args.get("artifact-out"))
+                << '\n';
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
