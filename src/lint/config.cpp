@@ -1,0 +1,100 @@
+#include "lint/config.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hpcem::lint {
+
+bool glob_match(std::string_view glob, std::string_view path) {
+  // Classic iterative wildcard match with single-star backtracking.
+  std::size_t g = 0, p = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (p < path.size()) {
+    if (g < glob.size() && (glob[g] == '?' || glob[g] == path[p])) {
+      ++g;
+      ++p;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      mark = p;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      p = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+bool LintConfig::rule_disabled(std::string_view rule) const {
+  for (const std::string& r : disabled_rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+bool LintConfig::allowed(std::string_view rule, std::string_view path) const {
+  for (const Allow& a : allows) {
+    if (a.rule == rule && glob_match(a.glob, path)) return true;
+  }
+  return false;
+}
+
+bool LintConfig::excluded(std::string_view path) const {
+  for (const std::string& g : excludes) {
+    if (glob_match(g, path)) return true;
+  }
+  return false;
+}
+
+namespace {
+/// Malformed config is external input: report it as a ParseError.
+void check(bool cond, const std::string& msg) {
+  if (!cond) throw ParseError(msg);
+}
+}  // namespace
+
+LintConfig parse_config(std::string_view text) {
+  LintConfig config;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+    const std::string where = " (.hpcemlint line " + std::to_string(lineno) +
+                              ")";
+    if (directive == "disable") {
+      std::string rule, extra;
+      check(static_cast<bool>(fields >> rule),
+            "disable needs a rule name" + where);
+      check(!(fields >> extra), "disable takes one field" + where);
+      config.disabled_rules.push_back(rule);
+    } else if (directive == "allow") {
+      std::string rule, glob, extra;
+      check(static_cast<bool>(fields >> rule >> glob),
+            "allow needs a rule name and a path glob" + where);
+      check(!(fields >> extra), "allow takes two fields" + where);
+      config.allows.push_back({rule, glob});
+    } else if (directive == "exclude") {
+      std::string glob, extra;
+      check(static_cast<bool>(fields >> glob),
+            "exclude needs a path glob" + where);
+      check(!(fields >> extra), "exclude takes one field" + where);
+      config.excludes.push_back(glob);
+    } else {
+      throw ParseError("unknown .hpcemlint directive '" + directive + "'" +
+                       where);
+    }
+  }
+  return config;
+}
+
+}  // namespace hpcem::lint

@@ -1,0 +1,45 @@
+// `.hpcemlint` configuration for hpcem_lint.
+//
+// Line-oriented format, one directive per line, `#` comments:
+//
+//   # turn a rule off everywhere
+//   disable <rule>
+//   # permit a rule's findings in paths matching a glob (* and ? wildcards,
+//   # * also crosses '/'):
+//   allow <rule> <glob>
+//   # skip files entirely:
+//   exclude <glob>
+//
+// Paths are repo-relative with '/' separators, exactly as diagnostics
+// print them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcem::lint {
+
+struct LintConfig {
+  struct Allow {
+    std::string rule;
+    std::string glob;
+  };
+  std::vector<std::string> disabled_rules;
+  std::vector<Allow> allows;
+  std::vector<std::string> excludes;
+
+  [[nodiscard]] bool rule_disabled(std::string_view rule) const;
+  [[nodiscard]] bool allowed(std::string_view rule,
+                             std::string_view path) const;
+  [[nodiscard]] bool excluded(std::string_view path) const;
+};
+
+/// Parse configuration text; throws hpcem::ParseError on a malformed line
+/// (unknown directive, missing fields).
+[[nodiscard]] LintConfig parse_config(std::string_view text);
+
+/// Glob match with `*` (any run, including '/') and `?` (one char).
+[[nodiscard]] bool glob_match(std::string_view glob, std::string_view path);
+
+}  // namespace hpcem::lint

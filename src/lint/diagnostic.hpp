@@ -1,0 +1,26 @@
+// Diagnostic record emitted by lint rules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hpcem::lint {
+
+struct Diagnostic {
+  std::string rule;     ///< rule name, e.g. "no-wall-clock"
+  std::string path;     ///< repo-relative path of the offending file
+  std::size_t line = 0; ///< 1-based; 0 for file-level findings
+  std::size_t column = 0;
+  std::string message;
+
+  /// Stable ordering for deterministic reports: by path, then position,
+  /// then rule name.
+  friend bool operator<(const Diagnostic& a, const Diagnostic& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.rule < b.rule;
+  }
+};
+
+}  // namespace hpcem::lint

@@ -1,0 +1,324 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace hpcem::lint {
+namespace {
+
+/// Cursor over the source buffer that tracks 1-based line/column and hides
+/// backslash-newline splices from the token scanners.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return col_; }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  /// True when the cursor sits on a backslash-newline (or backslash-CRLF)
+  /// line continuation.
+  [[nodiscard]] bool at_splice() const {
+    if (peek() != '\\') return false;
+    if (peek(1) == '\n') return true;
+    return peek(1) == '\r' && peek(2) == '\n';
+  }
+
+  /// Consume a line continuation (assumes at_splice()).
+  void skip_splice() {
+    advance();                      // backslash
+    if (peek() == '\r') advance();  // optional CR
+    advance();                      // newline
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Scan a `//` comment to the end of line (honouring splices, as the
+/// standard does: a spliced line comment continues).
+std::string scan_line_comment(Cursor& c) {
+  std::string text;
+  while (!c.at_end()) {
+    if (c.at_splice()) {
+      c.skip_splice();
+      continue;
+    }
+    if (c.peek() == '\n') break;
+    text += c.advance();
+  }
+  return text;
+}
+
+std::string scan_block_comment(Cursor& c) {
+  std::string text;
+  text += c.advance();  // '/'
+  text += c.advance();  // '*'
+  while (!c.at_end()) {
+    if (c.peek() == '*' && c.peek(1) == '/') {
+      text += c.advance();
+      text += c.advance();
+      break;
+    }
+    text += c.advance();
+  }
+  return text;
+}
+
+/// Scan an ordinary "..." or '...' literal, escapes included.  `quote` has
+/// already been consumed into `text`.
+void scan_quoted(Cursor& c, char quote, std::string& text) {
+  while (!c.at_end()) {
+    if (c.at_splice()) {
+      c.skip_splice();
+      continue;
+    }
+    const char ch = c.peek();
+    if (ch == '\\') {
+      text += c.advance();
+      if (!c.at_end()) text += c.advance();
+      continue;
+    }
+    if (ch == '\n') break;  // unterminated: stop at the line end
+    text += c.advance();
+    if (ch == quote) break;
+  }
+}
+
+/// Scan R"tag(...)tag" after the opening quote was consumed into `text`.
+void scan_raw_string(Cursor& c, std::string& text) {
+  std::string tag;
+  while (!c.at_end() && c.peek() != '(' && c.peek() != '\n' &&
+         tag.size() <= 16) {
+    tag += c.advance();
+  }
+  text += tag;
+  if (c.peek() != '(') return;  // malformed; give up gracefully
+  text += c.advance();
+  const std::string close = ")" + tag + "\"";
+  std::string window;
+  while (!c.at_end()) {
+    text += c.advance();
+    if (text.size() >= close.size() &&
+        text.compare(text.size() - close.size(), close.size(), close) == 0) {
+      return;
+    }
+  }
+  (void)window;
+}
+
+/// Scan a pp-number: digits, digit separators, dots, exponents with signs,
+/// and any trailing identifier characters (suffixes, hex digits, UDLs).
+std::string scan_number(Cursor& c) {
+  std::string text;
+  while (!c.at_end()) {
+    if (c.at_splice()) {
+      c.skip_splice();
+      continue;
+    }
+    const char ch = c.peek();
+    if (is_ident_char(ch) || ch == '.' || ch == '\'') {
+      text += c.advance();
+      continue;
+    }
+    if ((ch == '+' || ch == '-') && !text.empty()) {
+      const char prev = text.back();
+      if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+        text += c.advance();
+        continue;
+      }
+    }
+    break;
+  }
+  return text;
+}
+
+/// Scan a whole preprocessor directive ('#' already seen, not consumed).
+/// Splices are folded away; comments inside the directive are dropped; a
+/// trailing // comment ends it.
+std::string scan_preprocessor(Cursor& c) {
+  std::string text;
+  while (!c.at_end()) {
+    if (c.at_splice()) {
+      c.skip_splice();
+      text += ' ';
+      continue;
+    }
+    const char ch = c.peek();
+    if (ch == '\n') break;
+    if (ch == '/' && c.peek(1) == '/') break;
+    if (ch == '/' && c.peek(1) == '*') {
+      scan_block_comment(c);
+      text += ' ';
+      continue;
+    }
+    if (ch == '"') {
+      std::string lit;
+      lit += c.advance();
+      scan_quoted(c, '"', lit);
+      text += lit;
+      continue;
+    }
+    if (ch == '<' && text.find("include") != std::string::npos) {
+      // <...> header name: consume to '>' so a '//' inside a path does not
+      // look like a comment.
+      while (!c.at_end() && c.peek() != '>' && c.peek() != '\n') {
+        text += c.advance();
+      }
+      if (c.peek() == '>') text += c.advance();
+      continue;
+    }
+    text += c.advance();
+  }
+  return text;
+}
+
+/// True when the identifier is a string-literal encoding prefix.
+bool is_encoding_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor c(source);
+  bool line_has_token = false;  // directives must be first on their line
+
+  while (!c.at_end()) {
+    if (c.at_splice()) {
+      c.skip_splice();
+      continue;
+    }
+    const char ch = c.peek();
+    if (ch == '\n') {
+      c.advance();
+      line_has_token = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      c.advance();
+      continue;
+    }
+
+    Token tok;
+    tok.line = c.line();
+    tok.column = c.column();
+
+    if (ch == '/' && c.peek(1) == '/') {
+      tok.kind = TokenKind::kComment;
+      tok.text = scan_line_comment(c);
+      tokens.push_back(std::move(tok));
+      continue;  // newline (if any) resets line_has_token above
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      tok.kind = TokenKind::kComment;
+      tok.text = scan_block_comment(c);
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    if (ch == '#' && !line_has_token) {
+      tok.kind = TokenKind::kPreprocessor;
+      tok.text = scan_preprocessor(c);
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    if (ch == '"') {
+      tok.kind = TokenKind::kString;
+      tok.text += c.advance();
+      scan_quoted(c, '"', tok.text);
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    if (ch == '\'') {
+      tok.kind = TokenKind::kCharLiteral;
+      tok.text += c.advance();
+      scan_quoted(c, '\'', tok.text);
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    if (is_ident_start(ch)) {
+      std::string id;
+      while (!c.at_end()) {
+        if (c.at_splice()) {
+          c.skip_splice();
+          continue;
+        }
+        if (!is_ident_char(c.peek())) break;
+        id += c.advance();
+      }
+      // Encoding prefix glued to a string/raw-string literal?
+      if (c.peek() == '"' && is_encoding_prefix(id)) {
+        const bool raw = id.back() == 'R';
+        tok.kind = raw ? TokenKind::kRawString : TokenKind::kString;
+        tok.text = id;
+        tok.text += c.advance();  // opening quote
+        if (raw) {
+          scan_raw_string(c, tok.text);
+        } else {
+          scan_quoted(c, '"', tok.text);
+        }
+      } else if (c.peek() == '\'' && is_encoding_prefix(id) && id != "R") {
+        tok.kind = TokenKind::kCharLiteral;
+        tok.text = id;
+        tok.text += c.advance();
+        scan_quoted(c, '\'', tok.text);
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = std::move(id);
+      }
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    if (is_digit(ch) || (ch == '.' && is_digit(c.peek(1)))) {
+      tok.kind = TokenKind::kNumber;
+      tok.text = scan_number(c);
+      tokens.push_back(std::move(tok));
+      line_has_token = true;
+      continue;
+    }
+    // Punctuator.  Fuse `::` so qualified-name matching is a simple walk.
+    tok.kind = TokenKind::kPunct;
+    tok.text += c.advance();
+    if (tok.text == ":" && c.peek() == ':') {
+      tok.text += c.advance();
+    }
+    tokens.push_back(std::move(tok));
+    line_has_token = true;
+  }
+  return tokens;
+}
+
+}  // namespace hpcem::lint

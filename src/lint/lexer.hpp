@@ -1,0 +1,59 @@
+// Lightweight C++ tokenizer for the hpcem_lint static-analysis pass.
+//
+// The lexer does not aim to be a conforming C++ preprocessor/lexer; it aims
+// to classify source text well enough that rules never mistake the inside of
+// a comment, string literal, raw string or preprocessor directive for code.
+// That is the precision boundary that grep-style linting lacks and that the
+// determinism/units rules need (a `system_clock` mentioned in a comment is
+// fine; one in code is not).
+//
+// Guarantees:
+//   - line/column positions are 1-based and survive line continuations,
+//   - `//` and `/* */` comments become Comment tokens (retained, because
+//     suppression annotations live in comments),
+//   - ordinary strings (with escapes and u8/u/U/L prefixes), raw strings
+//     (`R"delim(...)delim"`) and char literals become single tokens,
+//   - a preprocessor directive (with backslash continuations spliced)
+//     becomes one Preprocessor token holding the directive text,
+//   - `::` is fused into a single punctuator so rules can match qualified
+//     names by walking alternating Identifier / `::` tokens.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcem::lint {
+
+enum class TokenKind {
+  kIdentifier,    ///< identifiers and keywords (rules match by spelling)
+  kNumber,        ///< pp-number: 0x1f, 1'000, 3.5e-2, 1.0_kWh suffix included
+  kString,        ///< "..." including encoding prefix, escapes intact
+  kRawString,     ///< R"tag(...)tag" including prefix
+  kCharLiteral,   ///< 'x' including escapes
+  kComment,       ///< // to end of line, or /* ... */ (text includes markers)
+  kPreprocessor,  ///< whole directive, continuations spliced, '#' included
+  kPunct,         ///< single punctuator; `::` fused into one token
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;         ///< exact source spelling (spliced for directives)
+  std::size_t line = 1;     ///< 1-based line of the first character
+  std::size_t column = 1;   ///< 1-based column of the first character
+
+  [[nodiscard]] bool is_identifier(std::string_view s) const {
+    return kind == TokenKind::kIdentifier && text == s;
+  }
+  [[nodiscard]] bool is_punct(std::string_view s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+};
+
+/// Tokenize a C++ translation unit.  Never throws on malformed input: an
+/// unterminated comment/string simply yields a token running to the end of
+/// the buffer (lint must degrade gracefully on code that does not compile).
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace hpcem::lint

@@ -24,15 +24,26 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
   order_.push_back(name);
 }
 
+void ArgParser::allow_positionals(const std::string& label,
+                                  const std::string& help) {
+  positional_label_ = label;
+  positional_help_ = help;
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
   values_.clear();
+  positionals_.clear();
   error_.clear();
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return false;
     if (arg.rfind("--", 0) != 0) {
-      error_ = "unexpected positional argument: " + arg;
-      return false;
+      if (positional_label_.empty()) {
+        error_ = "unexpected positional argument: " + arg;
+        return false;
+      }
+      positionals_.push_back(arg);
+      continue;
     }
     arg = arg.substr(2);
     std::string value;
@@ -99,7 +110,12 @@ bool ArgParser::get_flag(const std::string& name) const {
 
 std::string ArgParser::usage() const {
   std::ostringstream os;
-  os << description_ << "\n\nOptions:\n";
+  os << description_ << "\n\n";
+  if (!positional_label_.empty()) {
+    os << "Arguments:\n  [" << positional_label_ << "...]\n      "
+       << positional_help_ << '\n' << '\n';
+  }
+  os << "Options:\n";
   for (const auto& name : order_) {
     const Option& o = options_.at(name);
     os << "  --" << name;

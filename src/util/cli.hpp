@@ -22,6 +22,9 @@ class ArgParser {
                   const std::string& help);
   /// Declare a boolean flag (defaults to false; present = true).
   void add_flag(const std::string& name, const std::string& help);
+  /// Accept free (non `--`) arguments; `label` names them in usage text.
+  /// Without this call a positional argument is a parse error.
+  void allow_positionals(const std::string& label, const std::string& help);
 
   /// Parse argv.  Returns false (after printing usage) on --help or on an
   /// unknown/malformed option.
@@ -31,6 +34,12 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] long get_int(const std::string& name) const;
   [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Free arguments, in command-line order (empty unless allow_positionals
+  /// was declared and arguments were given).
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
 
   [[nodiscard]] std::string usage() const;
   /// Error description when parse returned false (empty for --help).
@@ -46,6 +55,9 @@ class ArgParser {
   std::vector<std::string> order_;
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+  std::string positional_label_;
+  std::string positional_help_;
   std::string error_;
 };
 

@@ -1,0 +1,165 @@
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcem::lint {
+namespace {
+
+std::vector<Token> of_kind(const std::vector<Token>& toks, TokenKind kind) {
+  std::vector<Token> out;
+  for (const Token& t : toks) {
+    if (t.kind == kind) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(LintLexer, ClassifiesIdentifiersNumbersPuncts) {
+  const auto toks = lex("int x = 42 + 0x1f;");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].is_identifier("int"));
+  EXPECT_TRUE(toks[1].is_identifier("x"));
+  EXPECT_TRUE(toks[2].is_punct("="));
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[5].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[5].text, "0x1f");
+}
+
+TEST(LintLexer, FusesScopeResolution) {
+  const auto toks = lex("std::chrono::system_clock");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_TRUE(toks[1].is_punct("::"));
+  EXPECT_TRUE(toks[3].is_punct("::"));
+  // A lone ':' (range-for, labels) stays a single-char punct.
+  const auto single = lex("for (auto x : xs)");
+  EXPECT_TRUE(single[4].is_punct(":"));
+}
+
+TEST(LintLexer, LineAndColumnAreOneBasedAndTracked) {
+  const auto toks = lex("a\n  b\n\n    c");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].column, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].column, 3u);
+  EXPECT_EQ(toks[2].line, 4u);
+  EXPECT_EQ(toks[2].column, 5u);
+}
+
+TEST(LintLexer, LineCommentsBecomeCommentTokens) {
+  const auto toks = lex("x; // trailing system_clock mention\ny;");
+  const auto comments = of_kind(toks, TokenKind::kComment);
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_NE(comments[0].text.find("system_clock"), std::string::npos);
+  // The mention never appears as an identifier.
+  for (const Token& t : of_kind(toks, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "system_clock");
+  }
+}
+
+TEST(LintLexer, BlockCommentsSpanLines) {
+  const auto toks = lex("a /* line1\nline2 rand() */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[2].line, 2u);  // b sits on the second line
+  EXPECT_TRUE(toks[2].is_identifier("b"));
+}
+
+TEST(LintLexer, UnterminatedBlockCommentRunsToEnd) {
+  const auto toks = lex("a /* never closed");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kComment);
+}
+
+TEST(LintLexer, StringLiteralsAreOpaque) {
+  const auto toks = lex(R"(call("std::rand() \" escaped"))");
+  const auto strings = of_kind(toks, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].text.find("escaped"), std::string::npos);
+  for (const Token& t : of_kind(toks, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(LintLexer, EncodingPrefixedStringsStaySingleTokens) {
+  const auto toks = lex("u8\"x\" L\"y\" u\"z\"");
+  EXPECT_EQ(of_kind(toks, TokenKind::kString).size(), 3u);
+}
+
+TEST(LintLexer, RawStringsSwallowQuotesAndParens) {
+  const auto toks = lex("auto s = R\"(contains \"quotes\" and )closer)\";");
+  const auto raws = of_kind(toks, TokenKind::kRawString);
+  ASSERT_EQ(raws.size(), 1u);
+  EXPECT_NE(raws[0].text.find("closer"), std::string::npos);
+  // trailing ';' still lexes after the raw string ends
+  EXPECT_TRUE(toks.back().is_punct(";"));
+}
+
+TEST(LintLexer, RawStringCustomDelimiter) {
+  const auto toks = lex("R\"ab(inner )\" not-the-end )ab\" x");
+  const auto raws = of_kind(toks, TokenKind::kRawString);
+  ASSERT_EQ(raws.size(), 1u);
+  EXPECT_NE(raws[0].text.find("not-the-end"), std::string::npos);
+  EXPECT_TRUE(toks.back().is_identifier("x"));
+}
+
+TEST(LintLexer, CharLiteralsIncludingEscapes) {
+  const auto toks = lex(R"(char c = '\''; char d = 'x';)");
+  EXPECT_EQ(of_kind(toks, TokenKind::kCharLiteral).size(), 2u);
+}
+
+TEST(LintLexer, DigitSeparatorsAndExponents) {
+  const auto toks = lex("1'000'000 3.5e-2 0x1p+4 2.0_kWh");
+  const auto nums = of_kind(toks, TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 4u);
+  EXPECT_EQ(nums[0].text, "1'000'000");
+  EXPECT_EQ(nums[1].text, "3.5e-2");
+  EXPECT_EQ(nums[2].text, "0x1p+4");
+  EXPECT_EQ(nums[3].text, "2.0_kWh");  // UDL suffix glued on
+}
+
+TEST(LintLexer, PreprocessorDirectiveIsOneToken) {
+  const auto toks = lex("#include \"util/error.hpp\"\nint x;");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(toks[0].text.find("util/error.hpp"), std::string::npos);
+  EXPECT_TRUE(toks[1].is_identifier("int"));
+}
+
+TEST(LintLexer, PreprocessorContinuationIsSpliced) {
+  const auto toks = lex("#define FOO(a) \\\n  ((a) + 1)\nint y;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(toks[0].text.find("+ 1"), std::string::npos);
+  EXPECT_TRUE(toks[1].is_identifier("int"));
+  EXPECT_EQ(toks[1].line, 3u);  // positions survive the splice
+}
+
+TEST(LintLexer, AngleIncludeDoesNotEatLine) {
+  const auto toks = lex("#include <filesystem>  // path // tricks\nz;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(toks[0].text.find("<filesystem>"), std::string::npos);
+  EXPECT_TRUE(toks[2].is_identifier("z"));
+}
+
+TEST(LintLexer, HashMidLineIsNotADirective) {
+  const auto toks = lex("int a = 1; #no_directive");
+  // '#' after code on the line lexes as a plain punct, not a directive.
+  bool has_pp = false;
+  for (const Token& t : toks) has_pp |= t.kind == TokenKind::kPreprocessor;
+  EXPECT_FALSE(has_pp);
+}
+
+TEST(LintLexer, SplicedIdentifier) {
+  const auto toks = lex("ab\\\ncd = 1;");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].is_identifier("abcd"));
+}
+
+TEST(LintLexer, EmptyAndWhitespaceOnlyInput) {
+  EXPECT_TRUE(lex("").empty());
+  EXPECT_TRUE(lex("  \n\t \n").empty());
+}
+
+}  // namespace
+}  // namespace hpcem::lint

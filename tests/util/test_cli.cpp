@@ -89,5 +89,29 @@ TEST(Cli, ReparseResetsState) {
   EXPECT_EQ(p.get("name"), "default");
 }
 
+TEST(Cli, PositionalsCollectInOrderWhenDeclared) {
+  ArgParser p = make();
+  p.allow_positionals("path", "files to process");
+  ASSERT_TRUE(parse(p, {"a.cpp", "--name", "x", "b.cpp", "--verbose"}));
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positionals()[0], "a.cpp");
+  EXPECT_EQ(p.positionals()[1], "b.cpp");
+  EXPECT_EQ(p.get("name"), "x");
+  EXPECT_TRUE(p.get_flag("verbose"));
+  EXPECT_NE(p.usage().find("[path...]"), std::string::npos);
+}
+
+TEST(Cli, PositionalsRejectedUnlessDeclaredAndResetOnReparse) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"stray"}));
+  EXPECT_NE(p.error().find("positional"), std::string::npos);
+
+  ArgParser q = make();
+  q.allow_positionals("path", "files");
+  ASSERT_TRUE(parse(q, {"one"}));
+  ASSERT_TRUE(parse(q, {}));
+  EXPECT_TRUE(q.positionals().empty());
+}
+
 }  // namespace
 }  // namespace hpcem
