@@ -3,6 +3,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics_export.hpp"
+#include "obs/registry.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
@@ -98,6 +100,10 @@ JsonValue RunArtifact::to_json() const {
   JsonValue chans = JsonValue::array();
   for (const auto& c : channels) chans.push_back(channel_json(c));
   v.set("channels", std::move(chans));
+  // v2: the obs member is written only when metrics were collected, so a
+  // run with collection off serializes to the same bytes as before
+  // (modulo the version bump).
+  if (!obs.is_null()) v.set("obs", obs);
   return v;
 }
 
@@ -120,7 +126,7 @@ RunArtifact RunArtifact::from_json(const JsonValue& v) {
           "RunArtifact: not a run-artifact document");
   const int version =
       static_cast<int>(v.at("schema_version").as_number());
-  require(version == kSchemaVersion,
+  require(version >= kMinSchemaVersion && version <= kSchemaVersion,
           "RunArtifact: unsupported schema version " +
               std::to_string(version));
 
@@ -145,6 +151,12 @@ RunArtifact RunArtifact::from_json(const JsonValue& v) {
   }
   for (const auto& c : v.at("channels").as_array()) {
     a.channels.push_back(channel_from_json(c));
+  }
+  // Optional from v2 on; absent in v1 documents and in runs that did not
+  // collect metrics.
+  if (const JsonValue* o = v.get("obs")) {
+    (void)obs::metrics_from_json(*o);  // validate before carrying it along
+    a.obs = *o;
   }
   return a;
 }
@@ -178,6 +190,11 @@ std::vector<ChannelAggregate> aggregate_channels(const Recorder& recorder) {
     out.push_back(aggregate_channel(name, recorder.channel(name)));
   }
   return out;
+}
+
+JsonValue collected_obs_metrics() {
+  if (!obs::enabled()) return JsonValue();
+  return obs::metrics_json(obs::metrics_snapshot());
 }
 
 std::string machine_label(MachineModel machine) {
@@ -224,6 +241,7 @@ RunArtifact make_run_artifact(const FacilitySimulator& sim,
                                /*detected=*/true});
   }
   a.channels = aggregate_channels(sim.telemetry());
+  a.obs = collected_obs_metrics();
   return a;
 }
 
@@ -249,6 +267,7 @@ RunArtifact make_run_artifact(const ScenarioOutcome& outcome,
                                a.headline.mean_after_kw,
                                /*detected=*/false});
   }
+  a.obs = collected_obs_metrics();
   return a;
 }
 

@@ -66,8 +66,17 @@ struct RunHeadline {
 };
 
 /// Structured record of one run (or one merged campaign scenario).
+///
+/// Schema history:
+///   v1 — scenario/source/machine/window, headline, change points, channel
+///        aggregates.
+///   v2 — adds the optional "obs" member: an hpcem.obs_metrics document
+///        (see obs/metrics_export.hpp) with the run's runtime counters,
+///        gauges and histograms.  v1 documents still parse (obs stays
+///        null); v2 readers must treat a missing "obs" as "not collected".
 struct RunArtifact {
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
+  static constexpr int kMinSchemaVersion = 1;
 
   std::string scenario = "run";
   /// Producer: "simulation" | "campaign" | "trace-replay" | "telemetry-csv".
@@ -84,6 +93,9 @@ struct RunArtifact {
   /// Whole-run channel aggregates (empty for merged campaign artifacts,
   /// whose per-channel streams live in the per-replicate runs).
   std::vector<ChannelAggregate> channels;
+  /// Runtime observability metrics (hpcem.obs_metrics document), or null
+  /// when collection was off / the document predates v2.
+  JsonValue obs;
 
   /// Deterministic JSON (insertion-ordered members, shortest round-trip
   /// numbers): equal artifacts serialize to equal bytes.
@@ -107,6 +119,11 @@ struct RunArtifact {
 
 /// Human-readable machine label for a spec's machine model.
 [[nodiscard]] std::string machine_label(MachineModel machine);
+
+/// The process's merged obs metrics as an artifact "obs" member: an
+/// hpcem.obs_metrics document when collection is enabled, null otherwise.
+/// Producers call this once, at artifact-assembly time.
+[[nodiscard]] JsonValue collected_obs_metrics();
 
 /// Artifact of a finished single run: headline and change points from the
 /// window analysis, channel aggregates over the whole simulated span

@@ -1,0 +1,20 @@
+// The one wall-clock read in the tree (see registry.hpp).  Observability
+// measures real elapsed time; everything else derives time from SimTime.
+// The `no-wall-clock` lint rule is allowed for exactly this file in
+// .hpcemlint.
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace hpcem::obs::detail {
+
+std::uint64_t wall_now_ns() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+}  // namespace hpcem::obs::detail

@@ -1,0 +1,115 @@
+// Typed metrics: counters, gauges and histograms over per-thread shards.
+//
+// All obs metrics are *integer-valued by design*: shard merging is then
+// integer addition (counters, histogram counts/sums) or integer max
+// (gauges, histogram min/max) — commutative and associative at the bit
+// level, so a merged snapshot is bit-identical for any thread or worker
+// count, mirroring the campaign layer's bit-identical merge guarantee.
+// Callers scale fractional quantities into an integer unit (nanoseconds,
+// sample counts) before recording.
+//
+// Handles are cheap value types holding a MetricId; the canonical pattern
+// is a function-local static at the instrumentation site:
+//
+//   static obs::Counter samples("telemetry.recorder.samples", "samples");
+//   samples.add();
+//
+// Recording is a no-op (one relaxed load + branch) while collection is
+// disabled.
+#pragma once
+
+#include <bit>
+
+#include "obs/registry.hpp"
+
+namespace hpcem::obs {
+
+/// Monotonic sum (merged by addition).
+class Counter {
+ public:
+  explicit Counter(std::string_view name, std::string_view unit = "count")
+      : id_(register_metric(name, MetricKind::kCounter, unit)) {}
+
+  void add(std::uint64_t n = 1) const {
+    if (!enabled()) return;
+    ThreadBuffer& tb = thread_buffer();
+    if (tb.counters.size() <= id_) tb.counters.resize(id_ + 1, 0);
+    tb.counters[id_] += n;
+  }
+
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_;
+};
+
+/// Level metric.  Each thread shard keeps the *maximum* value it was ever
+/// set to and shards merge by max: a deterministic reduction (a last-write
+/// gauge would depend on thread scheduling).  Use for high-water marks and
+/// set-once values (worker counts, queue peaks).
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name, std::string_view unit = "value")
+      : id_(register_metric(name, MetricKind::kGauge, unit)) {}
+
+  void set(std::uint64_t value) const {
+    if (!enabled()) return;
+    ThreadBuffer& tb = thread_buffer();
+    if (tb.gauges.size() <= id_) tb.gauges.resize(id_ + 1, 0);
+    if (value > tb.gauges[id_]) tb.gauges[id_] = value;
+  }
+
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_;
+};
+
+/// Log2-bucketed distribution (count/sum/min/max + power-of-two buckets).
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name, std::string_view unit = "ns")
+      : id_(register_metric(name, MetricKind::kHistogram, unit)) {}
+
+  void record(std::uint64_t value) const {
+    if (!enabled()) return;
+    ThreadBuffer& tb = thread_buffer();
+    if (tb.histograms.size() <= id_) tb.histograms.resize(id_ + 1);
+    HistogramShard& h = tb.histograms[id_];
+    ++h.count;
+    h.sum += value;
+    if (value < h.min) h.min = value;
+    if (value > h.max) h.max = value;
+    ++h.buckets[static_cast<std::size_t>(std::bit_width(value))];
+  }
+
+  [[nodiscard]] MetricId id() const { return id_; }
+
+ private:
+  MetricId id_;
+};
+
+/// Measures elapsed time into a histogram: wall nanoseconds, or logical
+/// ticks in deterministic mode (still deterministic, still a workload
+/// proxy — each tick is one clock read inside the measured scope).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Histogram& hist) : hist_(&hist) {
+    if (enabled()) {
+      tb_ = &thread_buffer();
+      begin_ = next_stamp(*tb_);
+    }
+  }
+  ~ScopedTimer() {
+    if (tb_ != nullptr) hist_->record(next_stamp(*tb_) - begin_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Histogram* hist_;
+  ThreadBuffer* tb_ = nullptr;
+  std::uint64_t begin_ = 0;
+};
+
+}  // namespace hpcem::obs

@@ -1,0 +1,93 @@
+#include "obs/metrics_export.hpp"
+
+#include "util/error.hpp"
+
+namespace hpcem::obs {
+
+JsonValue metrics_json(const MetricsSnapshot& snap) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "hpcem.obs_metrics");
+  doc.set("schema_version", kMetricsSchemaVersion);
+  doc.set("deterministic", deterministic());
+
+  JsonValue counters = JsonValue::array();
+  for (const auto& c : snap.counters) {
+    JsonValue v = JsonValue::object();
+    v.set("name", c.name);
+    v.set("unit", c.unit);
+    v.set("value", static_cast<double>(c.value));
+    counters.push_back(std::move(v));
+  }
+  doc.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::array();
+  for (const auto& g : snap.gauges) {
+    JsonValue v = JsonValue::object();
+    v.set("name", g.name);
+    v.set("unit", g.unit);
+    v.set("value", static_cast<double>(g.value));
+    gauges.push_back(std::move(v));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::array();
+  for (const auto& h : snap.histograms) {
+    JsonValue v = JsonValue::object();
+    v.set("name", h.name);
+    v.set("unit", h.unit);
+    v.set("count", static_cast<double>(h.count));
+    v.set("sum", static_cast<double>(h.sum));
+    v.set("min", static_cast<double>(h.min));
+    v.set("max", static_cast<double>(h.max));
+    JsonValue buckets = JsonValue::array();
+    for (const auto& [bit, count] : h.buckets) {
+      JsonValue b = JsonValue::object();
+      b.set("bit", bit);
+      b.set("count", static_cast<double>(count));
+      buckets.push_back(std::move(b));
+    }
+    v.set("buckets", std::move(buckets));
+    hists.push_back(std::move(v));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+MetricsSnapshot metrics_from_json(const JsonValue& v) {
+  require(v.at("schema").as_string() == "hpcem.obs_metrics",
+          "obs::metrics_from_json: not an obs-metrics document");
+  const int version = static_cast<int>(v.at("schema_version").as_number());
+  require(version == kMetricsSchemaVersion,
+          "obs::metrics_from_json: unsupported schema version " +
+              std::to_string(version));
+
+  MetricsSnapshot snap;
+  for (const auto& c : v.at("counters").as_array()) {
+    snap.counters.push_back(
+        {c.at("name").as_string(), c.at("unit").as_string(),
+         static_cast<std::uint64_t>(c.at("value").as_number())});
+  }
+  for (const auto& g : v.at("gauges").as_array()) {
+    snap.gauges.push_back(
+        {g.at("name").as_string(), g.at("unit").as_string(),
+         static_cast<std::uint64_t>(g.at("value").as_number())});
+  }
+  for (const auto& h : v.at("histograms").as_array()) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = h.at("name").as_string();
+    hv.unit = h.at("unit").as_string();
+    hv.count = static_cast<std::uint64_t>(h.at("count").as_number());
+    hv.sum = static_cast<std::uint64_t>(h.at("sum").as_number());
+    hv.min = static_cast<std::uint64_t>(h.at("min").as_number());
+    hv.max = static_cast<std::uint64_t>(h.at("max").as_number());
+    for (const auto& b : h.at("buckets").as_array()) {
+      hv.buckets.emplace_back(
+          static_cast<int>(b.at("bit").as_number()),
+          static_cast<std::uint64_t>(b.at("count").as_number()));
+    }
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+}  // namespace hpcem::obs

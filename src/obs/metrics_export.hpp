@@ -1,0 +1,29 @@
+// Metrics exporter: the "obs" section embedded in run-artifact JSON v2.
+//
+// A MetricsSnapshot serializes to a deterministic, name-ordered document:
+//
+//   {"schema": "hpcem.obs_metrics", "schema_version": 1,
+//    "deterministic": <bool>,
+//    "counters":   [{"name", "unit", "value"}...],
+//    "gauges":     [{"name", "unit", "value"}...],
+//    "histograms": [{"name", "unit", "count", "sum", "min", "max",
+//                    "buckets": [{"bit", "count"}...]}...]}
+//
+// The same bytes for the same collected data, whatever thread or worker
+// count produced it (see obs/metrics.hpp for why the merge is exact).
+#pragma once
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace hpcem::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+[[nodiscard]] JsonValue metrics_json(const MetricsSnapshot& snap);
+
+/// Parse a metrics section back into a snapshot (hpcem_prof's reader).
+/// Throws ParseError on malformed input.
+[[nodiscard]] MetricsSnapshot metrics_from_json(const JsonValue& v);
+
+}  // namespace hpcem::obs

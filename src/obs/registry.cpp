@@ -1,0 +1,230 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace hpcem::obs {
+
+namespace {
+
+const char* metric_kind_label(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "metric";
+}
+
+struct MetricDesc {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::string unit;
+};
+
+/// Process-wide collection state.  The mutex guards registration, interning
+/// and snapshots; per-thread buffers are written lock-free by their owning
+/// thread (snapshots require quiescence — see registry.hpp).
+struct Registry {
+  std::mutex mu;
+  /// deque: interning must not invalidate name_of() references.
+  std::deque<std::string> names;
+  std::map<std::string, NameId, std::less<>> name_ids;
+  std::deque<MetricDesc> metrics;
+  std::map<std::string, MetricId, std::less<>> metric_ids;
+  /// Owned here so a worker thread's data outlives the thread.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_deterministic(bool on) {
+  detail::g_deterministic.store(on, std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  static const bool once = [] {
+    if (env_flag("HPCEM_OBS")) set_enabled(true);
+    if (env_flag("HPCEM_OBS_DETERMINISTIC")) set_deterministic(true);
+    return true;
+  }();
+  (void)once;
+}
+
+NameId intern_name(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (const auto it = r.name_ids.find(name); it != r.name_ids.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<NameId>(r.names.size());
+  r.names.emplace_back(name);
+  r.name_ids.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& name_of(NameId id) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  HPCEM_ASSERT(id < r.names.size(), "obs::name_of: unknown name id");
+  return r.names[id];
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local const std::shared_ptr<ThreadBuffer> tls = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(buf);
+    return buf;
+  }();
+  return *tls;
+}
+
+void set_thread_label(std::string_view label) {
+  thread_buffer().label.assign(label);
+}
+
+MetricId register_metric(std::string_view name, MetricKind kind,
+                         std::string_view unit) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (const auto it = r.metric_ids.find(name); it != r.metric_ids.end()) {
+    const MetricDesc& d = r.metrics[it->second];
+    require(d.kind == kind && d.unit == unit,
+            "obs::register_metric: '" + std::string(name) +
+                "' re-registered as a different " + metric_kind_label(kind));
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(r.metrics.size());
+  r.metrics.push_back({std::string(name), kind, std::string(unit)});
+  r.metric_ids.emplace(std::string(name), id);
+  return id;
+}
+
+TraceSnapshot trace_snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  TraceSnapshot snap;
+  snap.deterministic = deterministic();
+  for (const auto& buf : r.buffers) {
+    if (buf->spans.empty()) continue;
+    snap.threads.push_back({buf->label, buf->spans});
+  }
+  // Deterministic thread order: by label, then by the span sequence itself
+  // (names resolved to strings — interning order is execution-dependent).
+  const auto span_key = [&r](const SpanRecord& s) {
+    return std::tuple<const std::string&, std::uint64_t, std::uint64_t>(
+        r.names[s.name], s.begin, s.end);
+  };
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [&](const ThreadTrace& a, const ThreadTrace& b) {
+              if (a.label != b.label) return a.label < b.label;
+              return std::lexicographical_compare(
+                  a.spans.begin(), a.spans.end(), b.spans.begin(),
+                  b.spans.end(),
+                  [&](const SpanRecord& x, const SpanRecord& y) {
+                    return span_key(x) < span_key(y);
+                  });
+            });
+  return snap;
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+
+  // Fold shards per metric id.  Counters and histograms merge by integer
+  // addition, gauges by max: all three folds are commutative and
+  // associative at the bit level, so the merged values are identical for
+  // any shard count or fold order (the campaign guarantee, mirrored).
+  const std::size_t n = r.metrics.size();
+  std::vector<std::uint64_t> counters(n, 0);
+  std::vector<std::uint64_t> gauges(n, 0);
+  std::vector<HistogramShard> hists(n);
+  for (const auto& buf : r.buffers) {
+    for (std::size_t i = 0; i < buf->counters.size(); ++i) {
+      counters[i] += buf->counters[i];
+    }
+    for (std::size_t i = 0; i < buf->gauges.size(); ++i) {
+      gauges[i] = std::max(gauges[i], buf->gauges[i]);
+    }
+    for (std::size_t i = 0; i < buf->histograms.size(); ++i) {
+      const HistogramShard& shard = buf->histograms[i];
+      HistogramShard& merged = hists[i];
+      merged.count += shard.count;
+      merged.sum += shard.sum;
+      merged.min = std::min(merged.min, shard.min);
+      merged.max = std::max(merged.max, shard.max);
+      for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
+        merged.buckets[b] += shard.buckets[b];
+      }
+    }
+  }
+
+  // Name-sorted output: metric_ids is already a sorted map.
+  MetricsSnapshot snap;
+  for (const auto& [name, id] : r.metric_ids) {
+    const MetricDesc& d = r.metrics[id];
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        snap.counters.push_back({name, d.unit, counters[id]});
+        break;
+      case MetricKind::kGauge:
+        snap.gauges.push_back({name, d.unit, gauges[id]});
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramShard& h = hists[id];
+        MetricsSnapshot::HistogramValue v;
+        v.name = name;
+        v.unit = d.unit;
+        v.count = h.count;
+        v.sum = h.sum;
+        v.min = h.count == 0 ? 0 : h.min;
+        v.max = h.max;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+          if (h.buckets[b] != 0) {
+            v.buckets.emplace_back(static_cast<int>(b), h.buckets[b]);
+          }
+        }
+        snap.histograms.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void reset_collected() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& buf : r.buffers) {
+    buf->tick = 0;
+    buf->spans.clear();
+    buf->counters.clear();
+    buf->gauges.clear();
+    buf->histograms.clear();
+  }
+}
+
+}  // namespace hpcem::obs

@@ -1,0 +1,176 @@
+// Observability registry: collection toggles, name interning and
+// per-thread event buffers.
+//
+// The paper's contribution is *observing* a running facility; this layer
+// makes the reproduction observable in the same spirit — without touching
+// simulation semantics.  Design constraints, in order:
+//
+//   1. Near-zero cost when disabled.  Every collection entry point starts
+//      with one relaxed atomic load and a predictable branch; nothing else
+//      runs.  The `HPCEM_OBS_DISABLE` compile definition removes the span
+//      macro entirely.
+//   2. No cross-thread synchronisation on the hot path.  Each thread owns a
+//      `ThreadBuffer`; spans and metric shards append to it lock-free.  The
+//      registry mutex is taken only to register a new thread, intern a new
+//      name, or snapshot.
+//   3. Deterministic export.  Snapshots merge shards and order output by
+//      *names*, never by interning order, registration order or thread
+//      identity, so the same collected data always serializes to the same
+//      bytes.  Under deterministic mode (see below) timestamps themselves
+//      are logical per-thread tick counts, making single-threaded traces
+//      byte-stable run to run.
+//
+// Wall-clock reads are confined to obs/clock.cpp (the one file the
+// `no-wall-clock` lint rule exempts): observability must measure real
+// elapsed time, but simulation state must never depend on it.
+//
+// Snapshots and resets require quiescence: no thread may be recording
+// concurrently (join workers first — the campaign layer's pool barrier
+// already guarantees this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcem::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+inline std::atomic<bool> g_deterministic{false};
+/// Monotonic nanoseconds since an arbitrary process-local anchor.
+/// Implemented in obs/clock.cpp — the only wall-clock read in the tree.
+[[nodiscard]] std::uint64_t wall_now_ns();
+}  // namespace detail
+
+/// True when collection is on.  The hot-path guard: one relaxed load.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when timestamps are logical per-thread ticks instead of wall
+/// nanoseconds (byte-stable exports; see file comment).
+[[nodiscard]] inline bool deterministic() {
+  return detail::g_deterministic.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on);
+void set_deterministic(bool on);
+
+/// Read the environment toggles once: HPCEM_OBS=1 enables collection,
+/// HPCEM_OBS_DETERMINISTIC=1 selects logical timestamps.  Called by
+/// ObsSession and the tools; idempotent.
+void init_from_env();
+
+/// Interned span/metric name.  Ids are process-local and never exported —
+/// snapshots always resolve back to strings.
+using NameId = std::uint32_t;
+[[nodiscard]] NameId intern_name(std::string_view name);
+[[nodiscard]] const std::string& name_of(NameId id);
+
+/// One closed span on one thread.  `begin`/`end` are wall nanoseconds, or
+/// logical ticks in deterministic mode.
+struct SpanRecord {
+  NameId name{};
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Merge-exact histogram shard: integer-valued so that merging shards is
+/// plain integer addition — commutative and associative at the bit level,
+/// which is what makes N-thread merges identical for any worker count.
+/// Buckets are log2: bucket index == std::bit_width(value).
+struct HistogramShard {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 65> buckets{};
+};
+
+/// Per-thread collection buffer.  Owned by the registry (it outlives the
+/// thread so campaign workers' data survives the pool teardown); the
+/// owning thread appends without locks.
+struct ThreadBuffer {
+  std::string label = "thread";
+  /// Logical clock for deterministic mode; each stamp is ++tick.
+  std::uint64_t tick = 0;
+  std::vector<SpanRecord> spans;
+  /// Metric shards, indexed by MetricId (grown on first touch).
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> gauges;
+  std::vector<HistogramShard> histograms;
+};
+
+/// This thread's buffer, created and registered on first use.
+[[nodiscard]] ThreadBuffer& thread_buffer();
+
+/// Label this thread's buffer for trace export ("main", "campaign-worker").
+void set_thread_label(std::string_view label);
+
+/// Next timestamp on this thread: a logical tick in deterministic mode,
+/// wall nanoseconds otherwise.
+[[nodiscard]] inline std::uint64_t next_stamp(ThreadBuffer& tb) {
+  return deterministic() ? ++tb.tick : detail::wall_now_ns();
+}
+
+/// Metric descriptor registration.  Re-registering the same name returns
+/// the existing id (the kind and unit must match).
+enum class MetricKind { kCounter, kGauge, kHistogram };
+using MetricId = std::uint32_t;
+[[nodiscard]] MetricId register_metric(std::string_view name, MetricKind kind,
+                                       std::string_view unit);
+
+/// All spans of one thread, in record (i.e. span-close) order.
+struct ThreadTrace {
+  std::string label;
+  std::vector<SpanRecord> spans;
+};
+
+/// Every thread's spans.  Threads are ordered deterministically by
+/// (label, span sequence), never by registration order.
+struct TraceSnapshot {
+  bool deterministic = false;
+  std::vector<ThreadTrace> threads;
+};
+
+[[nodiscard]] TraceSnapshot trace_snapshot();
+
+/// Merged metric values, each list sorted by metric name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    /// (bucket bit-width, count) pairs, non-empty buckets only.
+    std::vector<std::pair<int, std::uint64_t>> buckets;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Merge every thread shard (integer folds: worker-count invariant).
+[[nodiscard]] MetricsSnapshot metrics_snapshot();
+
+/// Drop collected spans and zero metric shards.  Interned names and metric
+/// descriptors persist (statics in instrumented code keep their ids).
+void reset_collected();
+
+}  // namespace hpcem::obs

@@ -1,0 +1,34 @@
+#include "obs/session.hpp"
+
+#include <exception>
+#include <iostream>
+
+#include "obs/trace_export.hpp"
+
+namespace hpcem::obs {
+
+ObsSession::ObsSession(std::string name) : name_(std::move(name)) {
+  init_from_env();
+  active_ = enabled();
+  if (active_) {
+    set_thread_label("main");
+    root_.emplace(intern_name(name_));
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (!active_) return;
+  root_.reset();  // close the root span before snapshotting
+  try {
+    write_trace_file(trace_snapshot(), trace_path());
+    std::cout << "obs: trace written: " << trace_path() << '\n';
+  } catch (const std::exception& e) {
+    // A failed trace write must not turn a successful run into a crash
+    // (we are in a destructor); report and carry on.
+    std::cerr << "obs: trace write failed: " << e.what() << '\n';
+  }
+}
+
+std::string ObsSession::trace_path() const { return name_ + ".trace.json"; }
+
+}  // namespace hpcem::obs

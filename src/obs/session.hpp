@@ -1,0 +1,44 @@
+// Per-binary observability session: the auto root span for benches and
+// tools.
+//
+//   int main() {
+//     hpcem::obs::ObsSession session("bench_fig2_bios_timeline");
+//     ...  // instrumented work
+//   }    // session writes bench_fig2_bios_timeline.trace.json when enabled
+//
+// Construction reads the environment toggles (HPCEM_OBS,
+// HPCEM_OBS_DETERMINISTIC), labels the calling thread "main" and opens a
+// root span named after the session.  Destruction closes the root span
+// and, when collection is enabled, writes `<name>.trace.json` and prints
+// the path.  When disabled the session does nothing and prints nothing, so
+// a bench's output is byte-identical with or without the session line.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace hpcem::obs {
+
+class ObsSession {
+ public:
+  /// `name` also serves as the trace basename; it may contain a directory
+  /// prefix ("out/fig2" -> "out/fig2.trace.json").
+  explicit ObsSession(std::string name);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// True when collection was enabled at construction.
+  [[nodiscard]] bool active() const { return active_; }
+  /// Path the destructor will write ("<name>.trace.json").
+  [[nodiscard]] std::string trace_path() const;
+
+ private:
+  std::string name_;
+  bool active_ = false;
+  std::optional<ScopedSpan> root_;
+};
+
+}  // namespace hpcem::obs

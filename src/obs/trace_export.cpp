@@ -1,0 +1,77 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace hpcem::obs {
+
+namespace {
+
+/// Export scale: ticks stay verbatim, wall ns become microseconds.
+double export_time(std::uint64_t raw, bool deterministic) {
+  const auto v = static_cast<double>(raw);
+  return deterministic ? v : v / 1000.0;
+}
+
+}  // namespace
+
+JsonValue trace_json(const TraceSnapshot& snap) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "hpcem.trace");
+  doc.set("schema_version", kTraceSchemaVersion);
+  doc.set("deterministic", snap.deterministic);
+  doc.set("time_unit", snap.deterministic ? "ticks" : "us");
+
+  JsonValue events = JsonValue::array();
+  for (std::size_t ti = 0; ti < snap.threads.size(); ++ti) {
+    const ThreadTrace& thread = snap.threads[ti];
+    const int tid = static_cast<int>(ti) + 1;
+
+    JsonValue meta = JsonValue::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", tid);
+    JsonValue margs = JsonValue::object();
+    margs.set("name", thread.label);
+    meta.set("args", std::move(margs));
+    events.push_back(std::move(meta));
+
+    // Spans close in child-before-parent order; re-sort so parents precede
+    // their children and the document is stable whatever the close order.
+    std::vector<SpanRecord> spans = thread.spans;
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return std::tuple(a.begin, b.end, name_of(a.name)) <
+                       std::tuple(b.begin, a.end, name_of(b.name));
+              });
+    for (const SpanRecord& s : spans) {
+      JsonValue ev = JsonValue::object();
+      ev.set("name", name_of(s.name));
+      ev.set("cat", "hpcem");
+      ev.set("ph", "X");
+      ev.set("ts", export_time(s.begin, snap.deterministic));
+      ev.set("dur", export_time(s.end - s.begin, snap.deterministic));
+      ev.set("pid", 1);
+      ev.set("tid", tid);
+      events.push_back(std::move(ev));
+    }
+  }
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+std::string trace_json_text(const TraceSnapshot& snap) {
+  return trace_json(snap).dump(2);
+}
+
+void write_trace_file(const TraceSnapshot& snap, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << trace_json_text(snap);
+  if (!out) throw ParseError("write_trace_file: cannot write " + path);
+}
+
+}  // namespace hpcem::obs

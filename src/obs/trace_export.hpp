@@ -1,0 +1,33 @@
+// Chrome/Perfetto trace exporter.
+//
+// Serializes a TraceSnapshot as a Trace Event Format JSON document —
+// loadable in chrome://tracing or https://ui.perfetto.dev — with complete
+// ("ph":"X") events plus thread_name metadata.  Extra top-level keys
+// (schema, deterministic, time_unit) identify the document to hpcem_prof;
+// Chrome ignores them.
+//
+// Output is deterministically ordered: threads as ordered by
+// trace_snapshot(), events within a thread by (begin, -end, name).  In
+// deterministic mode "ts"/"dur" are logical ticks verbatim; otherwise wall
+// nanoseconds are exported as microseconds (Chrome's native unit).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace hpcem::obs {
+
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// The trace document as a JsonValue.
+[[nodiscard]] JsonValue trace_json(const TraceSnapshot& snap);
+
+/// Serialized trace document (2-space indent, deterministic bytes).
+[[nodiscard]] std::string trace_json_text(const TraceSnapshot& snap);
+
+/// Write the trace document to `path`; throws ParseError on I/O failure.
+void write_trace_file(const TraceSnapshot& snap, const std::string& path);
+
+}  // namespace hpcem::obs

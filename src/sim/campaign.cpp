@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -10,6 +12,25 @@
 namespace hpcem {
 
 namespace {
+
+// Queue wait is a cross-thread interval (enqueue on the main thread, start
+// on a worker), so it is only measured from the wall clock: under
+// deterministic mode per-thread tick differences are meaningless and the
+// recorded wait is 0 (the count still tallies tasks).
+const obs::Histogram& queue_wait_hist() {
+  static const obs::Histogram h("campaign.queue_wait_ns", "ns");
+  return h;
+}
+
+const obs::Counter& tasks_counter() {
+  static const obs::Counter c("campaign.tasks", "tasks");
+  return c;
+}
+
+const obs::Gauge& workers_gauge() {
+  static const obs::Gauge g("campaign.workers", "threads");
+  return g;
+}
 
 /// One (scenario, seed) run reduced to a single-replicate outcome.
 ScenarioOutcome run_one(const CampaignScenario& scenario,
@@ -105,6 +126,17 @@ CampaignResult CampaignRunner::run(
       config_.workers == 0 ? ThreadPool::default_workers()
                            : config_.workers;
 
+  // Intern the per-scenario span names up front on this thread: interning
+  // takes the registry lock, and the worker hot path should not.
+  std::vector<obs::NameId> task_names;
+  if (obs::enabled()) {
+    workers_gauge().set(workers);
+    task_names.reserve(scenarios.size());
+    for (const auto& s : scenarios) {
+      task_names.push_back(obs::intern_name("campaign.task:" + s.name));
+    }
+  }
+
   // Every task writes only its own slot; the pool's wait_idle() is the
   // barrier that publishes the slots to the merging loop below.
   std::vector<ScenarioOutcome> partials(total);
@@ -117,7 +149,26 @@ CampaignResult CampaignRunner::run(
         const std::uint64_t seed =
             stream_seed(config_.campaign_seed, si, ri);
         const CampaignScenario* scenario = &scenarios[si];
-        pool.submit([scenario, seed, idx, &partials, &errors] {
+        const obs::NameId task_name =
+            obs::enabled() ? task_names[si] : obs::NameId{};
+        const std::uint64_t enqueued_ns =
+            obs::enabled() && !obs::deterministic()
+                ? obs::detail::wall_now_ns()
+                : 0;
+        pool.submit([scenario, seed, idx, task_name, enqueued_ns,
+                     &partials, &errors] {
+          if (obs::enabled()) {
+            obs::set_thread_label("campaign-worker");
+            tasks_counter().add();
+            // enqueued_ns == 0 marks deterministic mode: the wait is a
+            // cross-thread wall interval, so record 0 there (counts stay
+            // stable, durations do not exist).
+            queue_wait_hist().record(
+                enqueued_ns == 0
+                    ? 0
+                    : obs::detail::wall_now_ns() - enqueued_ns);
+          }
+          const obs::ScopedSpan task_span(task_name);
           try {
             partials[idx] = run_one(*scenario, seed);
           } catch (...) {
@@ -134,6 +185,7 @@ CampaignResult CampaignRunner::run(
 
   // Deterministic reduction: replicates merge in index order, so the
   // merged moments are bit-identical for any worker count.
+  HPCEM_OBS_SPAN("campaign.merge");
   CampaignResult result;
   result.workers_used = workers;
   result.total_runs = total;

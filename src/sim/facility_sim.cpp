@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace hpcem {
+
+namespace {
+
+// Step-loop phase metrics (see DESIGN.md "Observability layer" for the
+// span taxonomy).  The scheduler pass runs on every submit/finish — far
+// too often for one span each — so it is a duration histogram instead.
+const obs::Histogram& sched_pass_hist() {
+  static const obs::Histogram h("sim.sched.pass_ns", "ns");
+  return h;
+}
+
+const obs::Counter& jobs_started_counter() {
+  static const obs::Counter c("sim.jobs.started", "jobs");
+  return c;
+}
+
+const obs::Counter& samples_counter() {
+  static const obs::Counter c("sim.samples", "samples");
+  return c;
+}
+
+}  // namespace
 
 SimComposition FacilitySimulator::standard_composition(
     const FacilitySimConfig& config) {
@@ -78,6 +102,7 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
   require_state(!ran_, "FacilitySimulator::run: may only run once");
   require(end > start, "FacilitySimulator::run: end must follow start");
   ran_ = true;
+  HPCEM_OBS_SPAN("sim.run");
 
   engine_ = SimEngine(start);
 
@@ -135,6 +160,7 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
         rng_.split());
     for (SimTime t = start; t < end; t += Duration::hours(1.0)) {
       engine_.schedule(t, [this, t, end] {
+        HPCEM_OBS_SPAN("sim.workload.generate");
         for (auto& job : generator_->generate_hour(t, demand_scale())) {
           if (job.submit_time >= end) continue;
           const SimTime at = job.submit_time;
@@ -152,6 +178,11 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
   }
 
   engine_.run_until(end);
+
+  // Ingest is counted in bulk here, a quiescent point that precedes every
+  // export — the per-sample guard a push counter would need measurably
+  // slows Recorder::record even when collection is off.
+  if (obs::enabled()) detail::note_recorder_ingest(recorder_.total_appended());
 }
 
 void FacilitySimulator::schedule_maintenance(SimTime block_from,
@@ -182,8 +213,10 @@ void FacilitySimulator::on_submit(JobSpec job) {
 
 void FacilitySimulator::start_ready_jobs() {
   if (starts_blocked_) return;
+  const obs::ScopedTimer pass_timer(sched_pass_hist());
   const SimTime now = engine_.now();
   for (auto& start : scheduler_->schedule_pass(now)) {
+    jobs_started_counter().add();
     const ApplicationModel& app = catalog_->at(start.job.app);
     const PState pstate = policy_.resolve_pstate(app, start.job);
     const DeterminismMode mode = policy_.bios_mode;
@@ -242,6 +275,7 @@ SimSnapshot FacilitySimulator::snapshot() const {
 }
 
 void FacilitySimulator::sample() {
+  samples_counter().add();
   SimSnapshot s = snapshot();
   const double noise =
       1.0 + rng_.normal(0.0, config_.metering_noise_sigma);
@@ -250,16 +284,21 @@ void FacilitySimulator::sample() {
   // later sources (and the cabinet meter) see.
   double metered_w = 0.0;
   double total_w = 0.0;
-  for (std::size_t i = 0; i < composition_.sources.size(); ++i) {
-    const auto& source = composition_.sources[i];
-    s.metered_power_so_far_w = metered_w;
-    s.total_power_so_far_w = total_w;
-    const Power p = source->power(s);
-    if (source->metered()) metered_w += p.w();
-    total_w += p.w();
-    recorder_.record(source_channels_[i], s.now,
-                     p.kw() * (source->noisy() ? noise : 1.0));
+  {
+    HPCEM_OBS_SPAN("sim.sample.power");
+    for (std::size_t i = 0; i < composition_.sources.size(); ++i) {
+      const auto& source = composition_.sources[i];
+      s.metered_power_so_far_w = metered_w;
+      s.total_power_so_far_w = total_w;
+      const Power p = source->power(s);
+      if (source->metered()) metered_w += p.w();
+      total_w += p.w();
+      recorder_.record(source_channels_[i], s.now,
+                       p.kw() * (source->noisy() ? noise : 1.0));
+    }
   }
+
+  HPCEM_OBS_SPAN("sim.sample.telemetry");
   recorder_.record(cabinet_channel_, s.now, metered_w / 1000.0 * noise);
 
   s.metered_power_so_far_w = metered_w;

@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/text_table.hpp"
 
 namespace hpcem {
+
+namespace detail {
+
+void note_recorder_ingest(std::uint64_t n) {
+  static const obs::Counter samples("telemetry.recorder.samples", "samples");
+  samples.add(n);
+}
+
+}  // namespace detail
 
 ChannelId Recorder::declare(const std::string& name,
                             const std::string& unit) {
@@ -88,6 +98,12 @@ void Recorder::record(const std::string& name, SimTime t, double value) {
   require_state(it != index_.end(),
                 "Recorder::record: no such channel: " + name);
   channels_[it->second]->series.append(t, value);
+}
+
+std::uint64_t Recorder::total_appended() const {
+  std::uint64_t total = 0;
+  for (const auto& c : channels_) total += c->series.total_appended();
+  return total;
 }
 
 std::string Recorder::to_csv() const {

@@ -26,6 +26,15 @@
 
 namespace hpcem {
 
+namespace detail {
+/// Adds `n` to the obs "telemetry.recorder.samples" counter (out of line:
+/// the counter static and its registration stay in recorder.cpp).  Callers
+/// count in bulk at quiescent points — a per-sample guard inside
+/// Recorder::record measurably slows the ingest loop even when collection
+/// is off.
+void note_recorder_ingest(std::uint64_t n);
+}  // namespace detail
+
 /// Dense handle to an interned recorder channel.  Obtained from
 /// `Recorder::declare`/`find`/`id`; valid for the lifetime of the recorder
 /// that issued it.
@@ -59,7 +68,9 @@ class Recorder {
   /// Handle of an existing channel; throws StateError if absent.
   [[nodiscard]] ChannelId id(const std::string& name) const;
 
-  /// Record one sample through a handle (the hot path).
+  /// Record one sample through a handle (the hot path).  Deliberately not
+  /// obs-instrumented per call: ingest is counted in bulk from
+  /// total_appended() at quiescent points (see detail::note_recorder_ingest).
   void record(ChannelId id, SimTime t, double value) {
     HPCEM_ASSERT(id.index() < channels_.size(),
                  "Recorder::record: invalid channel id");
@@ -73,6 +84,10 @@ class Recorder {
   [[nodiscard]] const std::string& name(ChannelId id) const;
 
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+  /// Total samples ever appended across all channels (survives retention
+  /// decimation).  The obs ingest counter is fed from this in bulk.
+  [[nodiscard]] std::uint64_t total_appended() const;
 
   /// Bound retained raw samples per channel (applies to every current and
   /// future channel; 0 = unbounded).  Aggregates stay exact; see

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace hpcem {
@@ -17,6 +18,11 @@ void TimeSeries::set_max_raw_samples(std::size_t cap) {
 
 void TimeSeries::enforce_retention() {
   while (max_raw_ != 0 && samples_.size() > max_raw_) {
+    static const obs::Counter decimations("telemetry.decimation.events",
+                                          "events");
+    static const obs::Counter dropped("telemetry.decimation.dropped_samples",
+                                      "samples");
+    const std::size_t before = samples_.size();
     // Keep even positions: the retained set stays a uniform subsample of
     // the appended stream (indices that are multiples of the new stride).
     for (std::size_t i = 0; 2 * i < samples_.size(); ++i) {
@@ -24,6 +30,8 @@ void TimeSeries::enforce_retention() {
     }
     samples_.resize((samples_.size() + 1) / 2);
     keep_stride_ *= 2;
+    decimations.add();
+    dropped.add(before - samples_.size());
   }
 }
 

@@ -30,13 +30,22 @@ void ArgParser::allow_positionals(const std::string& label,
   positional_help_ = help;
 }
 
+void ArgParser::set_version(std::string version_text) {
+  version_text_ = std::move(version_text);
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
   values_.clear();
   positionals_.clear();
   error_.clear();
+  version_requested_ = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return false;
+    if (arg == "--version" && !version_text_.empty()) {
+      version_requested_ = true;
+      return false;
+    }
     if (arg.rfind("--", 0) != 0) {
       if (positional_label_.empty()) {
         error_ = "unexpected positional argument: " + arg;
@@ -127,6 +136,9 @@ std::string ArgParser::usage() const {
     os << '\n';
   }
   os << "  --help\n      show this message\n";
+  if (!version_text_.empty()) {
+    os << "  --version\n      print version information\n";
+  }
   return os.str();
 }
 

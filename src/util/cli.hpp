@@ -26,9 +26,21 @@ class ArgParser {
   /// Without this call a positional argument is a parse error.
   void allow_positionals(const std::string& label, const std::string& help);
 
+  /// Enable `--version`: when parse() sees it, parsing stops, parse()
+  /// returns false and version_requested() is true; the caller prints
+  /// `version_text` and exits 0.
+  void set_version(std::string version_text);
+
   /// Parse argv.  Returns false (after printing usage) on --help or on an
   /// unknown/malformed option.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// True when the last parse() stopped on --version.
+  [[nodiscard]] bool version_requested() const { return version_requested_; }
+  /// The text set_version() installed (empty when not enabled).
+  [[nodiscard]] const std::string& version_text() const {
+    return version_text_;
+  }
 
   [[nodiscard]] const std::string& get(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
@@ -58,6 +70,8 @@ class ArgParser {
   std::vector<std::string> positionals_;
   std::string positional_label_;
   std::string positional_help_;
+  std::string version_text_;
+  bool version_requested_ = false;
   std::string error_;
 };
 

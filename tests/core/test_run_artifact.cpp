@@ -8,6 +8,9 @@
 #include "core/assembly.hpp"
 #include "core/report.hpp"
 #include "core/run_artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace hpcem {
@@ -84,6 +87,48 @@ TEST(RunArtifact, FromJsonRejectsWrongSchema) {
   EXPECT_THROW(RunArtifact::from_json(w), InvalidArgument);
   EXPECT_THROW(RunArtifact::from_json_text("{not json"), ParseError);
   EXPECT_THROW(RunArtifact::from_json_text("{}"), ParseError);
+}
+
+// Schema v1 documents (no "obs" member) predate the obs layer and must
+// keep parsing; the obs member stays null on the way back in.
+TEST(RunArtifact, V1DocumentsStillParse) {
+  JsonValue v = sample_artifact().to_json();
+  v.set("schema_version", 1);
+  const RunArtifact a = RunArtifact::from_json(v);
+  EXPECT_EQ(a.scenario, "test-scenario");
+  EXPECT_TRUE(a.obs.is_null());
+}
+
+TEST(RunArtifact, ObsSectionOmittedWhenCollectionOff) {
+  // Collection is off by default in the test process.
+  EXPECT_TRUE(collected_obs_metrics().is_null());
+  const JsonValue v = sample_artifact().to_json();
+  EXPECT_EQ(v.get("obs"), nullptr);
+}
+
+TEST(RunArtifact, ObsSectionRoundTripsInV2) {
+  obs::set_enabled(true);
+  obs::reset_collected();
+  const obs::Counter jobs("artifact.test.jobs", "jobs");
+  jobs.add(17);
+  RunArtifact a = sample_artifact();
+  a.obs = collected_obs_metrics();
+  obs::set_enabled(false);
+  obs::reset_collected();
+  ASSERT_FALSE(a.obs.is_null());
+
+  const RunArtifact b = RunArtifact::from_json_text(a.to_json_text());
+  ASSERT_FALSE(b.obs.is_null());
+  EXPECT_EQ(b.to_json_text(), a.to_json_text());
+  const obs::MetricsSnapshot snap = obs::metrics_from_json(b.obs);
+  bool found = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "artifact.test.jobs") {
+      EXPECT_EQ(c.value, 17u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(RunArtifact, CsvHasOneRowPerChannel) {

@@ -138,6 +138,31 @@ TEST(LintSuppression, PlainCommentsAreNotSuppressions) {
   EXPECT_EQ(report.diagnostics.size(), 1u);
 }
 
+// The repo's own obs-layer carve-out: `allow no-wall-clock
+// src/obs/clock.cpp` covers exactly that file.  A steady_clock::now() in
+// the clock shim is suppressed (but counted); the identical read anywhere
+// else — including elsewhere under src/obs/ — still fires.
+TEST(LintSuppression, ObsClockCarveOutIsNarrow) {
+  const LintConfig config =
+      parse_config("allow no-wall-clock src/obs/clock.cpp\n");
+  constexpr const char* kClockRead =
+      "auto t = std::chrono::steady_clock::now();\n";
+
+  LintEngine engine;
+  engine.add_source("src/obs/clock.cpp", kClockRead);
+  engine.add_source("src/obs/registry.cpp", kClockRead);
+  engine.add_source("src/sim/engine.cpp", kClockRead);
+  const LintReport report = engine.run(config);
+
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.suppressed, 1u);
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].path, "src/obs/registry.cpp");
+  EXPECT_EQ(report.diagnostics[0].rule, "no-wall-clock");
+  EXPECT_EQ(report.diagnostics[1].path, "src/sim/engine.cpp");
+  EXPECT_EQ(report.diagnostics[1].rule, "no-wall-clock");
+}
+
 // ------------------------------------------------------------------ reports
 TEST(LintReport, TextFormat) {
   LintEngine engine;

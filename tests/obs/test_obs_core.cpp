@@ -1,0 +1,177 @@
+// Core obs behaviour: toggles, span collection, metric recording and
+// reset semantics.  The suite owns the process-global collection state:
+// every test starts from a clean, enabled, deterministic registry and
+// leaves collection off.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "util/error.hpp"
+
+namespace hpcem::obs {
+namespace {
+
+class ObsCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_collected();
+    set_enabled(true);
+    set_deterministic(true);
+    set_thread_label("main");
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_deterministic(false);
+    reset_collected();
+  }
+};
+
+TEST_F(ObsCoreTest, TogglesAreObservable) {
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(deterministic());
+  set_enabled(false);
+  set_deterministic(false);
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(deterministic());
+}
+
+TEST_F(ObsCoreTest, InternIsStableAndResolvable) {
+  const NameId a = intern_name("obs.test.alpha");
+  const NameId b = intern_name("obs.test.beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(intern_name("obs.test.alpha"), a);
+  EXPECT_EQ(name_of(a), "obs.test.alpha");
+  EXPECT_EQ(name_of(b), "obs.test.beta");
+}
+
+TEST_F(ObsCoreTest, SpansRecordLogicalTicks) {
+  {
+    const ScopedSpan outer(intern_name("obs.test.outer"));
+    const ScopedSpan inner(intern_name("obs.test.inner"));
+  }
+  const ThreadBuffer& tb = thread_buffer();
+  // Spans close child-first; stamps are the per-thread logical clock.
+  ASSERT_EQ(tb.spans.size(), 2u);
+  EXPECT_EQ(name_of(tb.spans[0].name), "obs.test.inner");
+  EXPECT_EQ(tb.spans[0].begin, 2u);
+  EXPECT_EQ(tb.spans[0].end, 3u);
+  EXPECT_EQ(name_of(tb.spans[1].name), "obs.test.outer");
+  EXPECT_EQ(tb.spans[1].begin, 1u);
+  EXPECT_EQ(tb.spans[1].end, 4u);
+}
+
+TEST_F(ObsCoreTest, DisabledSpansCostNothingAndRecordNothing) {
+  set_enabled(false);
+  {
+    HPCEM_OBS_SPAN("obs.test.disabled");
+  }
+  EXPECT_TRUE(thread_buffer().spans.empty());
+  EXPECT_EQ(thread_buffer().tick, 0u);
+}
+
+TEST_F(ObsCoreTest, SpanMacroRecordsUnderItsLiteralName) {
+  {
+    HPCEM_OBS_SPAN("obs.test.macro");
+  }
+  const ThreadBuffer& tb = thread_buffer();
+  ASSERT_EQ(tb.spans.size(), 1u);
+  EXPECT_EQ(name_of(tb.spans[0].name), "obs.test.macro");
+}
+
+TEST_F(ObsCoreTest, CounterAddsAndIgnoresDisabled) {
+  const Counter c("obs.test.counter", "ops");
+  c.add();
+  c.add(41);
+  set_enabled(false);
+  c.add(1000);
+  const ThreadBuffer& tb = thread_buffer();
+  ASSERT_GT(tb.counters.size(), c.id());
+  EXPECT_EQ(tb.counters[c.id()], 42u);
+}
+
+TEST_F(ObsCoreTest, GaugeKeepsTheMaximum) {
+  const Gauge g("obs.test.gauge", "items");
+  g.set(7);
+  g.set(3);
+  g.set(9);
+  g.set(1);
+  const ThreadBuffer& tb = thread_buffer();
+  ASSERT_GT(tb.gauges.size(), g.id());
+  EXPECT_EQ(tb.gauges[g.id()], 9u);
+}
+
+TEST_F(ObsCoreTest, HistogramTracksMomentsAndLogBuckets) {
+  const Histogram h("obs.test.hist", "bytes");
+  h.record(0);  // bit_width(0) == 0
+  h.record(1);  // bucket 1
+  h.record(3);  // bucket 2
+  h.record(6);  // bucket 3
+  const ThreadBuffer& tb = thread_buffer();
+  ASSERT_GT(tb.histograms.size(), h.id());
+  const HistogramShard& s = tb.histograms[h.id()];
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 10u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 6u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+}
+
+TEST_F(ObsCoreTest, ScopedTimerRecordsElapsedStamps) {
+  const Histogram h("obs.test.timer", "ns");
+  {
+    const ScopedTimer timer(h);
+  }
+  // Deterministic mode: begin and end are consecutive ticks.
+  const ThreadBuffer& tb = thread_buffer();
+  ASSERT_GT(tb.histograms.size(), h.id());
+  EXPECT_EQ(tb.histograms[h.id()].count, 1u);
+  EXPECT_EQ(tb.histograms[h.id()].sum, 1u);
+}
+
+TEST_F(ObsCoreTest, RegisterMetricRejectsKindConflicts) {
+  (void)register_metric("obs.test.conflict", MetricKind::kCounter, "ops");
+  EXPECT_EQ(register_metric("obs.test.conflict", MetricKind::kCounter, "ops"),
+            register_metric("obs.test.conflict", MetricKind::kCounter, "ops"));
+  EXPECT_THROW((void)register_metric("obs.test.conflict", MetricKind::kGauge,
+                                     "ops"),
+               InvalidArgument);
+  EXPECT_THROW((void)register_metric("obs.test.conflict",
+                                     MetricKind::kCounter, "items"),
+               InvalidArgument);
+}
+
+TEST_F(ObsCoreTest, ResetClearsDataButKeepsDescriptors) {
+  const Counter c("obs.test.reset", "ops");
+  c.add(5);
+  {
+    HPCEM_OBS_SPAN("obs.test.reset_span");
+  }
+  reset_collected();
+  EXPECT_TRUE(thread_buffer().spans.empty());
+  EXPECT_EQ(thread_buffer().tick, 0u);
+  // The metric id survives and recording resumes from zero.
+  c.add(2);
+  MetricsSnapshot snap = metrics_snapshot();
+  bool found = false;
+  for (const auto& cv : snap.counters) {
+    if (cv.name == "obs.test.reset") {
+      EXPECT_EQ(cv.value, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsCoreTest, WallClockIsMonotonic) {
+  set_deterministic(false);
+  const std::uint64_t a = detail::wall_now_ns();
+  const std::uint64_t b = detail::wall_now_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace hpcem::obs

@@ -89,6 +89,28 @@ TEST(Cli, ReparseResetsState) {
   EXPECT_EQ(p.get("name"), "default");
 }
 
+TEST(Cli, VersionFlagWhenConfigured) {
+  ArgParser p = make();
+  p.set_version("test tool 1.2.3 (run_artifact schema v2)");
+  EXPECT_FALSE(parse(p, {"--version"}));
+  EXPECT_TRUE(p.version_requested());
+  EXPECT_TRUE(p.error().empty());
+  EXPECT_EQ(p.version_text(), "test tool 1.2.3 (run_artifact schema v2)");
+  EXPECT_NE(p.usage().find("--version"), std::string::npos);
+
+  // A successful reparse clears the request.
+  ASSERT_TRUE(parse(p, {"--name", "x"}));
+  EXPECT_FALSE(p.version_requested());
+}
+
+TEST(Cli, VersionFlagUnknownUnlessConfigured) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"--version"}));
+  EXPECT_FALSE(p.version_requested());
+  EXPECT_NE(p.error().find("unknown option"), std::string::npos);
+  EXPECT_EQ(p.usage().find("--version"), std::string::npos);
+}
+
 TEST(Cli, PositionalsCollectInOrderWhenDeclared) {
   ArgParser p = make();
   p.allow_positionals("path", "files to process");

@@ -15,9 +15,11 @@
 #include <sstream>
 
 #include "core/run_artifact.hpp"
+#include "obs/session.hpp"
 #include "telemetry/changepoint.hpp"
 #include "telemetry/forecast.hpp"
 #include "telemetry/seasonal.hpp"
+#include "tool_main.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -67,13 +69,15 @@ int main(int argc, char** argv) {
                   "(e.g. a simulated figure run)");
   args.add_flag("no-plot", "skip the ASCII timeline");
 
-  if (!args.parse(argc, argv) || args.get("csv").empty()) {
-    if (!args.error().empty()) std::cerr << "error: " << args.error() << "\n\n";
-    std::cout << args.usage();
-    return args.error().empty() && !args.get("csv").empty() ? 0 : 2;
+  args.set_version(tools::version_line("hpcem_analyze"));
+
+  if (!args.parse(argc, argv)) return tools::parse_exit(args);
+  if (args.get("csv").empty()) {
+    return tools::usage_error(args, "--csv is required");
   }
 
-  try {
+  return tools::tool_main([&] {
+    const obs::ObsSession session("hpcem_analyze");
     const CsvTable table = read_csv_file(args.get("csv"));
     const std::size_t tc = table.column(args.get("time-column"));
     const std::size_t vc = table.column(args.get("value-column"));
@@ -87,8 +91,9 @@ int main(int argc, char** argv) {
       series.append(*t, v);
     }
     if (series.size() < 32) {
-      std::cerr << "error: need at least 32 samples\n";
-      return 1;
+      std::cerr << "error: need at least 32 samples, got "
+                << series.size() << '\n';
+      return tools::kExitFailure;
     }
 
     // 1. Overview.
@@ -192,6 +197,7 @@ int main(int argc, char** argv) {
       artifact.change_points = found;
       artifact.channels.push_back(
           aggregate_channel(args.get("value-column"), series));
+      artifact.obs = collected_obs_metrics();
 
       if (!args.get("artifact-out").empty()) {
         std::cout << "\nartifact written: "
@@ -218,9 +224,6 @@ int main(int argc, char** argv) {
         std::cout << '\n' << t.str();
       }
     }
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return tools::kExitOk;
+  });
 }

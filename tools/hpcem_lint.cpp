@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "lint/engine.hpp"
+#include "tool_main.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -30,15 +31,8 @@ int run(int argc, const char* const* argv) {
   args.add_flag("list-rules", "print the rule catalogue and exit");
   args.allow_positionals("path",
                          "files or directories to lint, relative to --root");
-  if (!args.parse(argc, argv)) {
-    const bool help = args.error().empty();
-    (help ? std::cout : std::cerr) << args.usage();
-    if (!help) {
-      std::cerr << "error: " << args.error() << '\n';
-      return 2;
-    }
-    return 0;
-  }
+  args.set_version(hpcem::tools::version_line("hpcem_lint"));
+  if (!args.parse(argc, argv)) return hpcem::tools::parse_exit(args);
 
   hpcem::lint::LintEngine engine;
   if (args.get_flag("list-rules")) {

@@ -1,0 +1,246 @@
+// hpcem_prof: read obs traces and run artifacts, print profiles, diff runs.
+//
+// Input files are self-describing ("schema" member):
+//   hpcem.trace        — Chrome-format span trace (obs/trace_export.hpp):
+//                        prints the self/inclusive-time profile.
+//   hpcem.run_artifact — run artifact (v2 embeds an "obs" section):
+//                        prints the collected counters/gauges/histograms.
+//
+// A/B regression check (the CI bench gate):
+//   hpcem_prof current.trace.json --compare baseline.trace.json
+//              --span sim.sample.power --fail-pct 15
+// prints the per-span delta table and exits 3 when the named span's self
+// time regressed by more than --fail-pct percent.
+//
+// Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 regression gate
+// breached.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/metrics_export.hpp"
+#include "obs/profile.hpp"
+#include "tool_main.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace hpcem;
+
+constexpr int kExitRegression = 3;
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::parse(buf.str());
+}
+
+std::string doc_schema(const JsonValue& doc, const std::string& path) {
+  const JsonValue* schema = doc.is_object() ? doc.get("schema") : nullptr;
+  require(schema != nullptr && schema->is_string(),
+          path + ": not an hpcem document (no \"schema\" member)");
+  return schema->as_string();
+}
+
+/// Column formatting: tick counts are integers, wall times fractional us.
+std::string fmt_time(double v, const std::string& unit) {
+  return unit == "ticks" ? TextTable::grouped(v) : TextTable::num(v, 3);
+}
+
+obs::Profile load_profile(const std::string& path) {
+  const JsonValue doc = load_json(path);
+  const std::string schema = doc_schema(doc, path);
+  require(schema == "hpcem.trace",
+          path + ": expected an hpcem.trace document, got: " + schema);
+  return obs::profile_trace(doc);
+}
+
+void sort_entries(std::vector<obs::ProfileEntry>& entries,
+                  const std::string& key) {
+  const auto by = [&key](const obs::ProfileEntry& a,
+                         const obs::ProfileEntry& b) {
+    if (key == "inclusive" && a.inclusive != b.inclusive) {
+      return a.inclusive > b.inclusive;
+    }
+    if (key == "count" && a.count != b.count) return a.count > b.count;
+    if (key == "name") return a.name < b.name;
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  };
+  std::stable_sort(entries.begin(), entries.end(), by);
+}
+
+void print_profile(obs::Profile profile, const std::string& sort_key,
+                   std::size_t top) {
+  sort_entries(profile.entries, sort_key);
+  if (top != 0 && profile.entries.size() > top) {
+    profile.entries.resize(top);
+  }
+  const std::string u = " (" + profile.time_unit + ")";
+  TextTable t({"Span", "Count", "Self" + u, "Inclusive" + u},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& e : profile.entries) {
+    t.add_row({e.name, TextTable::grouped(static_cast<double>(e.count)),
+               fmt_time(e.self, profile.time_unit),
+               fmt_time(e.inclusive, profile.time_unit)});
+  }
+  std::cout << t.str();
+}
+
+void print_metrics(const obs::MetricsSnapshot& snap) {
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TextTable t({"Metric", "Kind", "Value", "Unit"},
+                {Align::kLeft, Align::kLeft, Align::kRight, Align::kLeft});
+    for (const auto& c : snap.counters) {
+      t.add_row({c.name, "counter",
+                 TextTable::grouped(static_cast<double>(c.value)), c.unit});
+    }
+    for (const auto& g : snap.gauges) {
+      t.add_row({g.name, "gauge",
+                 TextTable::grouped(static_cast<double>(g.value)), g.unit});
+    }
+    std::cout << t.str();
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t({"Histogram", "Count", "Sum", "Min", "Max", "Mean"},
+                {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                 Align::kRight, Align::kRight});
+    for (const auto& h : snap.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0
+                       : static_cast<double>(h.sum) /
+                             static_cast<double>(h.count);
+      t.add_row({h.name + " (" + h.unit + ")",
+                 TextTable::grouped(static_cast<double>(h.count)),
+                 TextTable::grouped(static_cast<double>(h.sum)),
+                 TextTable::grouped(static_cast<double>(h.min)),
+                 TextTable::grouped(static_cast<double>(h.max)),
+                 TextTable::grouped(mean)});
+    }
+    std::cout << '\n' << t.str();
+  }
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    std::cout << "no metrics collected\n";
+  }
+}
+
+std::string fmt_pct(double pct) {
+  if (std::isinf(pct)) return "new";
+  const std::string s = TextTable::num(pct, 1) + "%";
+  return pct > 0.0 ? "+" + s : s;
+}
+
+int run_compare(const std::string& current_path,
+                const std::string& baseline_path, const std::string& span,
+                double fail_pct) {
+  const obs::Profile baseline = load_profile(baseline_path);
+  const obs::Profile current = load_profile(current_path);
+  const auto deltas = obs::compare_profiles(baseline, current);
+
+  const std::string u = " (" + current.time_unit + ")";
+  TextTable t({"Span", "Self A" + u, "Self B" + u, "Delta", "Count A",
+               "Count B"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+               Align::kRight, Align::kRight});
+  for (const auto& d : deltas) {
+    t.add_row({d.name, fmt_time(d.self_a, current.time_unit),
+               fmt_time(d.self_b, current.time_unit), fmt_pct(d.self_pct),
+               TextTable::grouped(static_cast<double>(d.count_a)),
+               TextTable::grouped(static_cast<double>(d.count_b))});
+  }
+  std::cout << "A = " << baseline_path << "\nB = " << current_path << "\n\n"
+            << t.str();
+
+  if (span.empty()) return tools::kExitOk;
+  for (const auto& d : deltas) {
+    if (d.name != span) continue;
+    if (d.self_pct > fail_pct) {
+      std::cout << "\nREGRESSION: " << span << " self time "
+                << fmt_pct(d.self_pct) << " exceeds the " << fail_pct
+                << "% gate\n";
+      return kExitRegression;
+    }
+    std::cout << "\nok: " << span << " self time " << fmt_pct(d.self_pct)
+              << " within the " << fail_pct << "% gate\n";
+    return tools::kExitOk;
+  }
+  std::cerr << "error: span not found in either trace: " << span << '\n';
+  return tools::kExitFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "hpcem_prof — profiles from obs traces, metrics from run artifacts, "
+      "and A/B regression diffs");
+  args.add_option("sort", "self",
+                  "profile sort key: self | inclusive | count | name");
+  args.add_option("top", "0", "show only the top N spans (0 = all)");
+  args.add_option("compare", "",
+                  "baseline trace to diff the input trace against");
+  args.add_option("span", "",
+                  "with --compare: span name the regression gate watches");
+  args.add_option("fail-pct", "15",
+                  "with --span: exit 3 when the span's self time grew by "
+                  "more than this percentage");
+  args.allow_positionals("file",
+                         "one trace.json or artifact.json to read");
+  args.set_version(tools::version_line("hpcem_prof"));
+
+  if (!args.parse(argc, argv)) return tools::parse_exit(args);
+  if (args.positionals().size() != 1) {
+    return tools::usage_error(
+        args, "expected exactly one input file, got " +
+                  std::to_string(args.positionals().size()));
+  }
+  const std::string sort_key = args.get("sort");
+  if (sort_key != "self" && sort_key != "inclusive" && sort_key != "count" &&
+      sort_key != "name") {
+    return tools::usage_error(args, "bad --sort key: " + sort_key);
+  }
+  if (!args.get("span").empty() && args.get("compare").empty()) {
+    return tools::usage_error(args, "--span needs --compare");
+  }
+
+  return tools::tool_main([&] {
+    const std::string path = args.positionals().front();
+    if (!args.get("compare").empty()) {
+      return run_compare(path, args.get("compare"), args.get("span"),
+                         args.get_double("fail-pct"));
+    }
+
+    const JsonValue doc = load_json(path);
+    const std::string schema = doc_schema(doc, path);
+    if (schema == "hpcem.trace") {
+      print_profile(obs::profile_trace(doc), sort_key,
+                    static_cast<std::size_t>(args.get_int("top")));
+      return tools::kExitOk;
+    }
+    if (schema == "hpcem.run_artifact") {
+      const RunArtifact artifact = RunArtifact::from_json(doc);
+      if (artifact.obs.is_null()) {
+        std::cerr << "error: " << path
+                  << " has no obs section (run with HPCEM_OBS=1, schema v2)"
+                  << '\n';
+        return tools::kExitFailure;
+      }
+      print_metrics(obs::metrics_from_json(artifact.obs));
+      return tools::kExitOk;
+    }
+    if (schema == "hpcem.obs_metrics") {
+      print_metrics(obs::metrics_from_json(doc));
+      return tools::kExitOk;
+    }
+    std::cerr << "error: " << path << ": unsupported document: " << schema
+              << '\n';
+    return tools::kExitFailure;
+  });
+}

@@ -16,6 +16,8 @@
 #include "core/facility.hpp"
 #include "core/metrics.hpp"
 #include "core/run_artifact.hpp"
+#include "obs/session.hpp"
+#include "tool_main.hpp"
 #include "util/cli.hpp"
 #include "util/text_table.hpp"
 #include "workload/trace.hpp"
@@ -48,22 +50,25 @@ int main(int argc, char** argv) {
                   "write <basename>.artifact.json/.aggregates.csv with the "
                   "replay results");
 
-  if (!args.parse(argc, argv) || args.get("trace").empty()) {
-    if (!args.error().empty()) std::cerr << "error: " << args.error() << "\n\n";
-    std::cout << args.usage();
-    return args.error().empty() && !args.get("trace").empty() ? 0 : 2;
+  args.set_version(tools::version_line("hpcem_replay"));
+
+  if (!args.parse(argc, argv)) return tools::parse_exit(args);
+  if (args.get("trace").empty()) {
+    return tools::usage_error(args, "--trace is required");
   }
 
-  try {
+  return tools::tool_main([&] {
+    const obs::ObsSession session("hpcem_replay");
     const auto jobs = read_jobs_file(args.get("trace"));
     if (jobs.empty()) {
-      std::cerr << "error: trace is empty\n";
-      return 1;
+      std::cerr << "error: trace is empty: " << args.get("trace") << '\n';
+      return tools::kExitFailure;
     }
     const auto policy = parse_policy(args.get("policy"));
     if (!policy) {
-      std::cerr << "error: bad --policy\n";
-      return 2;
+      return tools::usage_error(
+          args, "bad --policy (want baseline | perfdet | lowfreq), got: " +
+                    args.get("policy"));
     }
 
     SimTime first = jobs.front().submit_time;
@@ -111,13 +116,11 @@ int main(int argc, char** argv) {
       artifact.headline.completed_jobs =
           static_cast<double>(sim->completed().size());
       artifact.channels = aggregate_channels(sim->telemetry());
+      artifact.obs = collected_obs_metrics();
       std::cout << "\nartifact written: "
                 << write_artifact_files(artifact, args.get("artifact-out"))
                 << '\n';
     }
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return tools::kExitOk;
+  });
 }

@@ -15,6 +15,8 @@
 #include "core/assembly.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
+#include "obs/session.hpp"
+#include "tool_main.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -55,18 +57,14 @@ int main(int argc, char** argv) {
   args.add_option("csv", "", "write the window telemetry to this CSV file");
   args.add_flag("metrics", "print service metrics for the window");
 
-  if (!args.parse(argc, argv)) {
-    if (!args.error().empty()) std::cerr << "error: " << args.error() << "\n\n";
-    std::cout << args.usage();
-    return args.error().empty() ? 0 : 2;
-  }
+  args.set_version(tools::version_line("hpcem_sim"));
+  if (!args.parse(argc, argv)) return tools::parse_exit(args);
 
   const auto start_d = parse_date(args.get("start"));
   const auto end_d = parse_date(args.get("end"));
   const auto policy = parse_policy(args.get("policy"));
   if (!start_d || !end_d || !policy) {
-    std::cerr << "error: bad --start/--end date or --policy\n";
-    return 2;
+    return tools::usage_error(args, "bad --start/--end date or --policy");
   }
 
   // One declarative spec drives the whole run.
@@ -82,18 +80,18 @@ int main(int argc, char** argv) {
     const auto change_d = parse_date(args.get("change"));
     const auto after = parse_policy(args.get("after"));
     if (!change_d || !after) {
-      std::cerr << "error: --change and --after must both be valid\n";
-      return 2;
+      return tools::usage_error(args,
+                                "--change and --after must both be valid");
     }
     const SimTime change = sim_time_from_date(*change_d);
     if (change <= spec.window_start || change >= spec.window_end) {
-      std::cerr << "error: --change must fall inside the window\n";
-      return 2;
+      return tools::usage_error(args, "--change must fall inside the window");
     }
     spec.changes.push_back({change, *after});
   }
 
-  try {
+  return tools::tool_main([&] {
+    const obs::ObsSession session("hpcem_sim");
     const FacilityAssembly assembly(spec);
     // One run serves the timeline, the service metrics and the CSV dump.
     const auto sim = assembly.run_simulator();
@@ -112,7 +110,7 @@ int main(int argc, char** argv) {
       std::ofstream out(args.get("csv"));
       if (!out) {
         std::cerr << "error: cannot write " << args.get("csv") << '\n';
-        return 1;
+        return tools::kExitFailure;
       }
       out << "time,cabinet_kw\n";
       for (const auto& s : result.cabinet_kw.samples()) {
@@ -121,9 +119,6 @@ int main(int argc, char** argv) {
       std::cout << "telemetry written to " << args.get("csv") << " ("
                 << result.cabinet_kw.size() << " samples)\n";
     }
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return tools::kExitOk;
+  });
 }
