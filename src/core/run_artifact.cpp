@@ -36,6 +36,21 @@ JsonValue channel_json(const ChannelAggregate& c) {
   v.set("integral", c.integral);
   v.set("first_time", time_json(c.first_time));
   v.set("last_time", time_json(c.last_time));
+  // v3: parallel times/values arrays, written only when the producer opted
+  // into carrying the raw samples (aggregate-only artifacts keep the v1/v2
+  // channel shape).
+  if (!c.series.empty()) {
+    JsonValue times = JsonValue::array();
+    JsonValue values = JsonValue::array();
+    for (const Sample& s : c.series) {
+      times.push_back(s.time.sec());
+      values.push_back(s.value);
+    }
+    JsonValue series = JsonValue::object();
+    series.set("times", std::move(times));
+    series.set("values", std::move(values));
+    v.set("series", std::move(series));
+  }
   return v;
 }
 
@@ -50,6 +65,24 @@ ChannelAggregate channel_from_json(const JsonValue& v) {
   c.integral = v.at("integral").as_number();
   c.first_time = time_from_json(v.at("first_time"));
   c.last_time = time_from_json(v.at("last_time"));
+  // Optional from v3 on.
+  if (const JsonValue* series = v.get("series")) {
+    const auto& times = series->at("times").as_array();
+    const auto& values = series->at("values").as_array();
+    require(times.size() == values.size(),
+            "RunArtifact: channel '" + c.name +
+                "' series times/values length mismatch");
+    c.series.reserve(times.size());
+    SimTime prev{};
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const SimTime t(times[i].as_number());
+      require(i == 0 || t >= prev,
+              "RunArtifact: channel '" + c.name +
+                  "' series times must be non-decreasing");
+      c.series.push_back({t, values[i].as_number()});
+      prev = t;
+    }
+  }
   return c;
 }
 
@@ -166,7 +199,8 @@ RunArtifact RunArtifact::from_json_text(std::string_view text) {
 }
 
 ChannelAggregate aggregate_channel(const std::string& name,
-                                   const TimeSeries& series) {
+                                   const TimeSeries& series,
+                                   bool include_series) {
   ChannelAggregate c;
   c.name = name;
   c.unit = series.unit();
@@ -179,15 +213,21 @@ ChannelAggregate aggregate_channel(const std::string& name,
     c.first_time = series.start_time();
     c.last_time = series.end_time();
   }
+  if (include_series) {
+    const auto samples = series.samples();
+    c.series.assign(samples.begin(), samples.end());
+  }
   return c;
 }
 
-std::vector<ChannelAggregate> aggregate_channels(const Recorder& recorder) {
+std::vector<ChannelAggregate> aggregate_channels(const Recorder& recorder,
+                                                 bool include_series) {
   std::vector<ChannelAggregate> out;
   const auto names = recorder.channel_names();
   out.reserve(names.size());
   for (const auto& name : names) {
-    out.push_back(aggregate_channel(name, recorder.channel(name)));
+    out.push_back(
+        aggregate_channel(name, recorder.channel(name), include_series));
   }
   return out;
 }

@@ -42,6 +42,11 @@ struct ChannelAggregate {
   double integral = 0.0;
   SimTime first_time{};
   SimTime last_time{};
+  /// v3: the channel's retained raw samples, time-ordered.  Optional —
+  /// empty means "aggregates only" (the v1/v2 shape).  Carrying the series
+  /// lets the serving layer (src/serve) answer sub-window and what-if
+  /// queries without re-running the producer.
+  std::vector<Sample> series;
 };
 
 /// One operational level shift: scheduled (the known rollout instant) or
@@ -74,8 +79,13 @@ struct RunHeadline {
 ///        (see obs/metrics_export.hpp) with the run's runtime counters,
 ///        gauges and histograms.  v1 documents still parse (obs stays
 ///        null); v2 readers must treat a missing "obs" as "not collected".
+///   v3 — channel objects may carry an optional "series" member (parallel
+///        "times"/"values" arrays of the retained raw samples) so the
+///        serving layer can answer windowed and what-if queries.  v1/v2
+///        documents still parse (series stays empty); readers must treat a
+///        missing "series" as "aggregates only".
 struct RunArtifact {
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
   static constexpr int kMinSchemaVersion = 1;
 
   std::string scenario = "run";
@@ -109,13 +119,16 @@ struct RunArtifact {
   [[nodiscard]] static RunArtifact from_json_text(std::string_view text);
 };
 
-/// Exact streaming aggregate of one series.
+/// Exact streaming aggregate of one series.  With `include_series` the
+/// aggregate also carries the retained raw samples (the v3 "series"
+/// member), making the artifact ingestible for sub-window serving queries.
 [[nodiscard]] ChannelAggregate aggregate_channel(const std::string& name,
-                                                 const TimeSeries& series);
+                                                 const TimeSeries& series,
+                                                 bool include_series = false);
 
 /// Aggregates of every channel in a recorder, in name order.
 [[nodiscard]] std::vector<ChannelAggregate> aggregate_channels(
-    const Recorder& recorder);
+    const Recorder& recorder, bool include_series = false);
 
 /// Human-readable machine label for a spec's machine model.
 [[nodiscard]] std::string machine_label(MachineModel machine);

@@ -685,6 +685,59 @@ class NoIncludeCycleRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule: serve-obs-instrumentation
+// ---------------------------------------------------------------------------
+// The serving layer is the one subsystem whose latency is a product surface,
+// so its obs hooks are part of the contract: dashboards and the CI smoke
+// job key on these exact instrument names.  A rename (or a refactor that
+// drops one) must fail lint, not silently blank a panel.
+class ServeObsInstrumentationRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "serve-obs-instrumentation";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "src/serve must keep its contractual obs instruments: the "
+           "serve.request span plus the serve.cache.hit, serve.cache.miss "
+           "and serve.queue.depth counters/gauges";
+  }
+  void check_project(const std::vector<FileContext>& files,
+                     std::vector<Diagnostic>& out) const override {
+    static constexpr std::array kRequired = {
+        "serve.request", "serve.cache.hit", "serve.cache.miss",
+        "serve.queue.depth"};
+    std::string anchor;
+    std::set<std::string> declared;
+    for (const FileContext& f : files) {
+      if (!f.in_dir("src/serve/")) continue;
+      if (anchor.empty() || f.path < anchor) anchor = f.path;
+      for (const Token& t : f.tokens) {
+        if (t.kind != TokenKind::kString && t.kind != TokenKind::kRawString) {
+          continue;
+        }
+        for (const char* required : kRequired) {
+          // Exact quoted spelling: "serve.request.ns" must not satisfy the
+          // "serve.request" span requirement.
+          if (t.text == '"' + std::string(required) + '"') {
+            declared.insert(required);
+          }
+        }
+      }
+    }
+    if (anchor.empty()) return;  // no serving layer in this tree
+    for (const char* required : kRequired) {
+      if (declared.contains(required)) continue;
+      out.push_back(Diagnostic{
+          std::string(name()), anchor, 0, 0,
+          "src/serve never declares the obs instrument \"" +
+              std::string(required) +
+              "\"; the serving layer's spans/counters are contractual "
+              "(see DESIGN.md, serving layer)"});
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> default_rules() {
@@ -698,6 +751,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<NodiscardAccessorRule>());
   rules.push_back(std::make_unique<HeaderPragmaOnceRule>());
   rules.push_back(std::make_unique<NoIncludeCycleRule>());
+  rules.push_back(std::make_unique<ServeObsInstrumentationRule>());
   return rules;
 }
 

@@ -6,7 +6,9 @@
 
 #include "obs/registry.hpp"
 
-namespace hpcem::obs::detail {
+namespace hpcem::obs {
+
+namespace detail {
 
 std::uint64_t wall_now_ns() {
   static const std::chrono::steady_clock::time_point anchor =
@@ -17,4 +19,8 @@ std::uint64_t wall_now_ns() {
           .count());
 }
 
-}  // namespace hpcem::obs::detail
+}  // namespace detail
+
+std::uint64_t monotonic_now_ns() { return detail::wall_now_ns(); }
+
+}  // namespace hpcem::obs

@@ -46,6 +46,12 @@ inline std::atomic<bool> g_deterministic{false};
 [[nodiscard]] std::uint64_t wall_now_ns();
 }  // namespace detail
 
+/// Monotonic nanoseconds since an arbitrary process-local anchor, for
+/// latency measurement in benches and the serving layer's load generator.
+/// This is the sanctioned way to time real elapsed work: the actual clock
+/// read stays confined to obs/clock.cpp (see file comment).
+[[nodiscard]] std::uint64_t monotonic_now_ns();
+
 /// True when collection is on.  The hot-path guard: one relaxed load.
 [[nodiscard]] inline bool enabled() {
   return detail::g_enabled.load(std::memory_order_relaxed);

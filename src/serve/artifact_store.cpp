@@ -1,0 +1,200 @@
+#include "serve/artifact_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace hpcem::serve {
+
+namespace {
+
+StoredChannel columnise(const ChannelAggregate& aggregate) {
+  StoredChannel ch;
+  ch.name = aggregate.name;
+  ch.unit = aggregate.unit;
+  ch.aggregate = aggregate;
+  const std::size_t n = aggregate.series.size();
+  if (n == 0) return ch;
+
+  ch.times.reserve(n);
+  ch.values.reserve(n);
+  ch.prefix_value_sum.reserve(n + 1);
+  ch.prefix_integral.reserve(n + 1);
+  // Compensated prefix accumulators: windowed sums are differences of
+  // prefixes, so per-element drift would surface directly in responses.
+  CompensatedSum value_sum;
+  CompensatedSum integral;
+  ch.prefix_value_sum.push_back(0.0);
+  ch.prefix_integral.push_back(0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = aggregate.series[i];
+    if (i > 0) {
+      integral.add(0.5 * (s.value + ch.values.back()) *
+                   (s.time.sec() - ch.times.back()));
+    }
+    ch.times.push_back(s.time.sec());
+    ch.values.push_back(s.value);
+    value_sum.add(s.value);
+    ch.prefix_value_sum.push_back(value_sum.value());
+    ch.prefix_integral.push_back(integral.value());
+  }
+  return ch;
+}
+
+}  // namespace
+
+const StoredChannel* StoredScenario::find_channel(
+    const std::string& channel_name) const {
+  const auto it = std::lower_bound(
+      channels.begin(), channels.end(), channel_name,
+      [](const StoredChannel& c, const std::string& n) { return c.name < n; });
+  if (it == channels.end() || it->name != channel_name) return nullptr;
+  return &*it;
+}
+
+void ArtifactStore::add(const RunArtifact& artifact,
+                        const std::string& source_file) {
+  const auto existing = scenarios_.find(artifact.scenario);
+  if (existing != scenarios_.end()) {
+    throw DuplicateScenarioError(
+        "duplicate scenario id '" + artifact.scenario + "' (first: " +
+        existing->second.source_file + ", again: " + source_file + ")");
+  }
+
+  StoredScenario s;
+  s.name = artifact.scenario;
+  s.source = artifact.source;
+  s.machine = artifact.machine;
+  s.source_file = source_file;
+  s.window_start = artifact.window_start;
+  s.window_end = artifact.window_end;
+  s.replicates = artifact.replicates;
+  s.headline = artifact.headline;
+  s.change_points = artifact.change_points;
+  s.channels.reserve(artifact.channels.size());
+  for (const ChannelAggregate& c : artifact.channels) {
+    s.channels.push_back(columnise(c));
+  }
+  // Dense per-scenario channel ids are lexicographic ranks, independent of
+  // the order the producer emitted them in.
+  std::sort(s.channels.begin(), s.channels.end(),
+            [](const StoredChannel& a, const StoredChannel& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < s.channels.size(); ++i) {
+    require(s.channels[i - 1].name != s.channels[i].name,
+            "ArtifactStore: scenario '" + s.name +
+                "' declares channel '" + s.channels[i].name + "' twice");
+  }
+  scenarios_.emplace(s.name, std::move(s));
+}
+
+void ArtifactStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("ArtifactStore: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  add(RunArtifact::from_json_text(buf.str()), path);
+}
+
+std::size_t ArtifactStore::load_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::directory_iterator it(dir, ec);
+  if (ec) {
+    throw ParseError("ArtifactStore: cannot read directory " + dir + ": " +
+                     ec.message());
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".artifact.json";
+    if (name.size() > kSuffix.size() &&
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sorted paths make
+  // ingest (and therefore any ingest-order error) reproducible.
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) load_file(p);
+  return paths.size();
+}
+
+std::vector<std::string> ArtifactStore::scenario_names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) names.push_back(name);
+  return names;
+}
+
+const StoredScenario* ArtifactStore::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const StoredScenario& ArtifactStore::at(const std::string& name) const {
+  const StoredScenario* s = find(name);
+  require(s != nullptr, "ArtifactStore: unknown scenario '" + name + "'");
+  return *s;
+}
+
+const StoredScenario& ArtifactStore::at(std::size_t id) const {
+  require(id < scenarios_.size(),
+          "ArtifactStore: scenario id " + std::to_string(id) +
+              " out of range");
+  auto it = scenarios_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(id));
+  return it->second;
+}
+
+std::size_t ArtifactStore::total_series_samples() const {
+  std::size_t n = 0;
+  for (const auto& [name, scenario] : scenarios_) {
+    for (const StoredChannel& c : scenario.channels) n += c.times.size();
+  }
+  return n;
+}
+
+WindowAggregate ArtifactStore::window_aggregate(const StoredChannel& channel,
+                                                SimTime start, SimTime end) {
+  require_state(channel.has_series(),
+                "ArtifactStore: channel '" + channel.name +
+                    "' carries no stored series (aggregate-only artifact)");
+  require(start <= end,
+          "ArtifactStore: window start must not exceed window end");
+  const auto lo = std::lower_bound(channel.times.begin(), channel.times.end(),
+                                   start.sec());
+  const auto hi = std::lower_bound(lo, channel.times.end(), end.sec());
+  const auto first = static_cast<std::size_t>(lo - channel.times.begin());
+  const auto last = static_cast<std::size_t>(hi - channel.times.begin());
+
+  WindowAggregate w;
+  w.samples = last - first;
+  if (w.samples == 0) return w;
+
+  w.mean = (channel.prefix_value_sum[last] - channel.prefix_value_sum[first]) /
+           static_cast<double>(w.samples);
+  // prefix_integral[k] covers the intervals up to sample k-1, so the
+  // in-window intervals (first..last-1) are [last] minus [first + 1] —
+  // subtracting [first] would also count the interval leading *into* the
+  // window's first sample.
+  w.integral =
+      channel.prefix_integral[last] - channel.prefix_integral[first + 1];
+  w.first_time = SimTime(channel.times[first]);
+  w.last_time = SimTime(channel.times[last - 1]);
+  w.min = channel.values[first];
+  w.max = channel.values[first];
+  for (std::size_t i = first + 1; i < last; ++i) {
+    w.min = std::min(w.min, channel.values[i]);
+    w.max = std::max(w.max, channel.values[i]);
+  }
+  return w;
+}
+
+}  // namespace hpcem::serve

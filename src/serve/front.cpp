@@ -1,0 +1,185 @@
+#include "serve/front.hpp"
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace hpcem::serve {
+
+ServeFront::ServeFront(const ArtifactStore& store, ServeOptions options)
+    : engine_(store),
+      max_queue_(options.max_queue >= 1 ? options.max_queue : 1),
+      pool_(options.workers >= 1 ? options.workers : 1) {
+  if (options.cache_entries > 0) {
+    cache_.emplace(options.cache_entries,
+                   options.cache_shards >= 1 ? options.cache_shards : 1);
+  }
+  evaluator_ = [this](const QueryRequest& request) {
+    try {
+      return render_response(request, engine_.evaluate(request));
+    } catch (const Error& e) {
+      return render_error(request.id, e.what());
+    }
+  };
+}
+
+ServeFront::~ServeFront() = default;
+
+std::string ServeFront::handle(const std::string& line) {
+  HPCEM_OBS_SPAN("serve.request");
+  static const obs::Histogram latency("serve.request.ns", "ns");
+  const obs::ScopedTimer timer(latency);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  static const obs::Counter cache_hit("serve.cache.hit");
+  static const obs::Counter cache_miss("serve.cache.miss");
+
+  // First-level lookup on the verbatim line: repeated identical requests
+  // skip the parse and canonicalization entirely.  Safe because
+  // canonicalization is idempotent — a raw line that equals some canonical
+  // rendering parses to exactly the query that rendering keys.
+  if (cache_) {
+    if (auto hit = cache_->get(line)) {
+      cache_hit.add();
+      return *hit;
+    }
+  }
+
+  QueryRequest request;
+  try {
+    request = QueryRequest::from_json_text(line);
+  } catch (const Error& e) {
+    // Malformed lines never reach the cache: they have no canonical key.
+    return render_error("", e.what());
+  }
+  const std::string key = request.canonical_key();
+
+  if (cache_) {
+    if (auto hit = cache_->get(key)) {
+      // A different spelling of a cached query: promote the verbatim line
+      // so its repeats take the first-level path.
+      cache_hit.add();
+      cache_->put(line, *hit);
+      return *hit;
+    }
+    cache_miss.add();
+  }
+  std::string result = evaluate_coalesced(request, key);
+  if (cache_ && line != key) cache_->put(line, result);
+  return result;
+}
+
+std::string ServeFront::evaluate_coalesced(const QueryRequest& request,
+                                           const std::string& key) {
+  std::shared_ptr<InFlight> entry;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<InFlight>();
+      inflight_.emplace(key, entry);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    // An identical query is being computed right now: share its answer.
+    static const obs::Counter coalesced("serve.coalesced");
+    coalesced.add();
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->cv.wait(lock, [&] { return entry->done; });
+    return entry->result;
+  }
+
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  std::string result = evaluator_(request);
+  // Publish to the cache before retiring the in-flight entry, so a query
+  // arriving in between finds the cached bytes instead of re-evaluating.
+  if (cache_) cache_->put(key, result);
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(entry->mu);
+    entry->result = result;
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+  return result;
+}
+
+std::future<std::string> ServeFront::submit(std::string line) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [&] { return queue_depth_ < max_queue_; });
+    ++queue_depth_;
+    if (queue_depth_ > peak_queue_depth_) peak_queue_depth_ = queue_depth_;
+    static const obs::Gauge depth_gauge("serve.queue.depth", "requests");
+    depth_gauge.set(queue_depth_);
+  }
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  pool_.submit([this, promise, line = std::move(line)]() mutable {
+    // handle() maps every domain failure to an error response; anything
+    // else (bad_alloc, ...) must still not escape into the pool.
+    try {
+      promise->set_value(handle(line));
+    } catch (const std::exception& e) {
+      promise->set_value(render_error("", e.what()));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      --queue_depth_;
+    }
+    queue_cv_.notify_one();
+  });
+  return future;
+}
+
+std::size_t ServeFront::serve_stream(std::istream& in, std::ostream& out) {
+  std::deque<std::future<std::string>> pending;
+  std::size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    pending.push_back(submit(std::move(line)));
+    line.clear();
+    // Keep the reorder buffer bounded: once it reaches the queue bound the
+    // oldest response must be ready (or nearly); write it through.
+    while (pending.size() >= max_queue_) {
+      out << pending.front().get() << '\n';
+      pending.pop_front();
+      ++served;
+    }
+  }
+  while (!pending.empty()) {
+    out << pending.front().get() << '\n';
+    pending.pop_front();
+    ++served;
+  }
+  return served;
+}
+
+FrontStats ServeFront::stats() const {
+  FrontStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  if (cache_) s.cache = cache_->stats();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    s.peak_queue_depth = peak_queue_depth_;
+  }
+  return s;
+}
+
+}  // namespace hpcem::serve

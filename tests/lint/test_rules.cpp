@@ -326,6 +326,52 @@ TEST(NoIncludeCycle, QuietOnDagAndUnknownIncludes) {
   EXPECT_EQ(count_rule(report, "no-include-cycle"), 0u);
 }
 
+// ------------------------------------------------- serve-obs-instrumentation
+TEST(ServeObsInstrumentation, FlagsMissingInstrumentNames) {
+  LintEngine engine;
+  // Near-miss spellings: the histogram suffix and a renamed counter must
+  // not satisfy the contractual names.
+  engine.add_source("src/serve/front.cpp",
+                    "static const char* kSpan = \"serve.request.ns\";\n"
+                    "static const char* kHit = \"serve.cachehit\";\n");
+  const auto report = engine.run(LintConfig{});
+  EXPECT_EQ(count_rule(report, "serve-obs-instrumentation"), 4u);
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == "serve-obs-instrumentation") {
+      EXPECT_EQ(d.path, "src/serve/front.cpp");
+    }
+  }
+}
+
+TEST(ServeObsInstrumentation, QuietWhenAllNamesDeclaredAcrossFiles) {
+  LintEngine engine;
+  engine.add_source("src/serve/front.cpp",
+                    "void f() { span(\"serve.request\"); "
+                    "gauge(\"serve.queue.depth\"); }\n");
+  engine.add_source("src/serve/result_cache.cpp",
+                    "void g() { hit(\"serve.cache.hit\"); "
+                    "miss(\"serve.cache.miss\"); }\n");
+  const auto report = engine.run(LintConfig{});
+  EXPECT_EQ(count_rule(report, "serve-obs-instrumentation"), 0u);
+}
+
+TEST(ServeObsInstrumentation, QuietWhenTreeHasNoServingLayer) {
+  LintEngine engine;
+  engine.add_source("src/core/energy.cpp", "int x = 1;\n");
+  const auto report = engine.run(LintConfig{});
+  EXPECT_EQ(count_rule(report, "serve-obs-instrumentation"), 0u);
+}
+
+TEST(ServeObsInstrumentation, ConfigAllowSilencesRule) {
+  LintEngine engine;
+  engine.add_source("src/serve/empty.cpp", "int y = 2;\n");
+  LintConfig config;
+  config.allows.push_back({"serve-obs-instrumentation", "src/serve/*"});
+  const auto report = engine.run(config);
+  EXPECT_EQ(count_rule(report, "serve-obs-instrumentation"), 0u);
+  EXPECT_EQ(report.suppressed, 4u);
+}
+
 TEST(NoIncludeCycle, ConfigAllowSilencesCycle) {
   LintEngine engine;
   engine.add_source("src/a/a.hpp", "#pragma once\n#include \"a/a.hpp\"\n");

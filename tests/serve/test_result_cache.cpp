@@ -1,0 +1,112 @@
+// ResultCache: LRU semantics, sharding and thread safety (the concurrent
+// tests are part of the TSan CI job).
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hpcem::serve {
+namespace {
+
+TEST(ResultCache, PutGetAndMissAccounting) {
+  ResultCache cache(8, 1);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "alpha");
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "alpha");
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(3, 1);  // one shard: exact LRU order
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  // Touch "a" so "b" is now the coldest entry.
+  (void)cache.get("a");
+  cache.put("d", "4");
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCache, PutOfExistingKeyUpdatesInPlace) {
+  ResultCache cache(2, 1);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(*cache.get("k"), "new");
+  EXPECT_EQ(cache.stats().insertions, 1u);  // update, not insert
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ShardCountRoundsToPowerOfTwo) {
+  EXPECT_EQ(ResultCache(16, 1).shard_count(), 1u);
+  EXPECT_EQ(ResultCache(16, 3).shard_count(), 4u);
+  EXPECT_EQ(ResultCache(16, 8).shard_count(), 8u);
+  EXPECT_THROW(ResultCache(0, 1), InvalidArgument);
+  EXPECT_THROW(ResultCache(1, 0), InvalidArgument);
+}
+
+TEST(ResultCache, HashIsPlatformStableFnv1a) {
+  // Fixed FNV-1a vectors: the shard a key lands on must never depend on
+  // the standard library's std::hash.
+  EXPECT_EQ(ResultCache::hash_key(""), 14695981039346656037ULL);
+  EXPECT_EQ(ResultCache::hash_key("a"), 12638187200555641996ULL);
+  EXPECT_EQ(ResultCache::hash_key("hpcem"), 15411609209418887560ULL);
+}
+
+TEST(ResultCache, CapacitySpreadsAcrossShards) {
+  ResultCache cache(64, 8);
+  for (int i = 0; i < 200; ++i) {
+    cache.put("key-" + std::to_string(i), std::string(100, 'x'));
+  }
+  // Per-shard bound is ceil(64/8) = 8, so at most 64 entries survive.
+  EXPECT_LE(cache.stats().entries, 64u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// Concurrent hammer: many threads mixing gets and puts over an
+// overlapping key space.  Correctness here is "TSan-clean and every hit
+// returns the exact value stored for that key".
+TEST(ResultCache, ConcurrentGetPutIsSafe) {
+  ResultCache cache(128, 8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string key = "k" + std::to_string((i * 7 + t) % 300);
+        if (const auto hit = cache.get(key)) {
+          // A hit must carry the value every writer stores for this key.
+          ASSERT_EQ(*hit, "v" + key);
+        } else {
+          cache.put(key, "v" + key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(s.entries, 128u);
+}
+
+}  // namespace
+}  // namespace hpcem::serve

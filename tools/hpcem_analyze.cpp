@@ -64,6 +64,12 @@ int main(int argc, char** argv) {
   args.add_option("artifact-out", "",
                   "write <basename>.artifact.json/.aggregates.csv with the "
                   "analysis results");
+  args.add_option("serve-export", "",
+                  "write <basename>.artifact.json with the telemetry series "
+                  "embedded, ready for hpcem_serve --store");
+  args.add_option("scenario", "",
+                  "scenario id for exported artifacts (default: the CSV "
+                  "path)");
   args.add_option("compare", "",
                   "run-artifact JSON to diff the headline numbers against "
                   "(e.g. a simulated figure run)");
@@ -180,9 +186,12 @@ int main(int argc, char** argv) {
     // 5. Machine-readable artifact: the same schema the figure benches
     // and the campaign runner emit, so real telemetry and simulated runs
     // diff with plain file tools.
-    if (!args.get("artifact-out").empty() || !args.get("compare").empty()) {
+    if (!args.get("artifact-out").empty() ||
+        !args.get("serve-export").empty() || !args.get("compare").empty()) {
       RunArtifact artifact;
-      artifact.scenario = args.get("csv");
+      artifact.scenario = args.get("scenario").empty()
+                              ? args.get("csv")
+                              : args.get("scenario");
       artifact.source = "telemetry-csv";
       artifact.window_start = series.start_time();
       artifact.window_end = series.end_time();
@@ -202,6 +211,18 @@ int main(int argc, char** argv) {
       if (!args.get("artifact-out").empty()) {
         std::cout << "\nartifact written: "
                   << write_artifact_files(artifact, args.get("artifact-out"))
+                  << '\n';
+      }
+      if (!args.get("serve-export").empty()) {
+        // Swap the aggregate-only channel for one carrying the raw series
+        // (the v3 shape hpcem_serve needs for sub-window queries).
+        RunArtifact serveable = artifact;
+        serveable.channels.clear();
+        serveable.channels.push_back(aggregate_channel(
+            args.get("value-column"), series, /*include_series=*/true));
+        std::cout << "serve artifact written: "
+                  << write_artifact_files(serveable,
+                                          args.get("serve-export"))
                   << '\n';
       }
       if (!args.get("compare").empty()) {

@@ -1,0 +1,115 @@
+// hpcem_serve: concurrent emissions-query service over stored run
+// artifacts.
+//
+// Loads a directory of `*.artifact.json` files (written by
+// `hpcem_sim --serve-export`, `hpcem_replay --artifact-out` or
+// `hpcem_analyze --serve-export`) into an in-memory column store, then
+// answers NDJSON query requests on stdin with one NDJSON response per
+// line on stdout — windowed aggregates, emissions-regime splits,
+// perf-per-kWh comparisons and carbon what-ifs, without re-running any
+// simulation.  See docs/SERVE_SCHEMA.md for the wire format.
+//
+// Responses are byte-deterministic for a given store: the same request
+// stream produces the same response bytes for any --workers count, with
+// the cache on or off.
+//
+// Examples:
+//   hpcem_serve --store runs/ --once '{"op":"list"}'
+//   hpcem_serve --store runs/ --requests queries.ndjson > answers.ndjson
+//   hpcem_serve --store runs/ --workers 8 < queries.ndjson
+#include <fstream>
+#include <iostream>
+
+#include "obs/session.hpp"
+#include "serve/front.hpp"
+#include "tool_main.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hpcem;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "hpcem_serve — emissions-query service over stored run artifacts "
+      "(NDJSON requests in, NDJSON responses out)");
+  args.add_option("store", "",
+                  "directory of *.artifact.json files to load (required)");
+  args.add_option("workers", "4", "executor threads");
+  args.add_option("cache-entries", "4096", "result cache capacity");
+  args.add_option("max-queue", "256",
+                  "pending requests before submit() blocks");
+  args.add_option("once", "", "answer this one request JSON and exit");
+  args.add_option("requests", "",
+                  "read requests from this NDJSON file instead of stdin");
+  args.add_flag("no-cache", "disable the result cache");
+  args.add_flag("stats", "print serving statistics to stderr at exit");
+
+  args.set_version(tools::version_line("hpcem_serve"));
+  if (!args.parse(argc, argv)) return tools::parse_exit(args);
+  if (args.get("store").empty()) {
+    return tools::usage_error(args, "--store is required");
+  }
+  if (args.get_int("workers") < 1) {
+    return tools::usage_error(args, "--workers must be >= 1");
+  }
+
+  return tools::tool_main([&] {
+    const obs::ObsSession session("hpcem_serve");
+
+    serve::ArtifactStore store;
+    std::size_t files = 0;
+    try {
+      files = store.load_directory(args.get("store"));
+    } catch (const serve::DuplicateScenarioError& e) {
+      // The store directory itself is inconsistent — that is a usage
+      // mistake (pick a different directory or rename a scenario), not a
+      // runtime failure of any one file.
+      std::cerr << "error: " << e.what() << '\n';
+      return tools::kExitUsage;
+    }
+    if (files == 0) {
+      std::cerr << "error: no *.artifact.json files in "
+                << args.get("store") << '\n';
+      return tools::kExitFailure;
+    }
+
+    serve::ServeOptions options;
+    options.workers = static_cast<std::size_t>(args.get_int("workers"));
+    options.cache_entries =
+        args.get_flag("no-cache")
+            ? 0
+            : static_cast<std::size_t>(args.get_int("cache-entries"));
+    options.max_queue = static_cast<std::size_t>(args.get_int("max-queue"));
+    serve::ServeFront front(store, options);
+
+    std::size_t served = 0;
+    if (!args.get("once").empty()) {
+      std::cout << front.handle(args.get("once")) << '\n';
+      served = 1;
+    } else if (!args.get("requests").empty()) {
+      std::ifstream in(args.get("requests"), std::ios::binary);
+      if (!in) {
+        std::cerr << "error: cannot open " << args.get("requests") << '\n';
+        return tools::kExitFailure;
+      }
+      served = front.serve_stream(in, std::cout);
+    } else {
+      served = front.serve_stream(std::cin, std::cout);
+    }
+
+    if (args.get_flag("stats")) {
+      const serve::FrontStats s = front.stats();
+      std::cerr << "hpcem_serve: " << files << " files, "
+                << store.scenario_count() << " scenarios, "
+                << store.total_series_samples() << " series samples | "
+                << served << " requests, " << s.evaluations
+                << " evaluations, " << s.cache.hits << " cache hits, "
+                << s.coalesced << " coalesced, peak queue "
+                << s.peak_queue_depth << '\n';
+    }
+    return tools::kExitOk;
+  });
+}

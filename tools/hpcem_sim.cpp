@@ -15,6 +15,7 @@
 #include "core/assembly.hpp"
 #include "core/metrics.hpp"
 #include "core/report.hpp"
+#include "core/run_artifact.hpp"
 #include "obs/session.hpp"
 #include "tool_main.hpp"
 #include "util/cli.hpp"
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
   args.add_option("seed", "24601", "simulation seed");
   args.add_option("warmup-days", "25", "steady-state pre-roll before start");
   args.add_option("csv", "", "write the window telemetry to this CSV file");
+  args.add_option("scenario", "hpcem_sim",
+                  "scenario id recorded in --serve-export artifacts");
+  args.add_option("serve-export", "",
+                  "write <basename>.artifact.json with the full telemetry "
+                  "series embedded, ready for hpcem_serve --store");
   args.add_flag("metrics", "print service metrics for the window");
 
   args.set_version(tools::version_line("hpcem_sim"));
@@ -69,7 +75,7 @@ int main(int argc, char** argv) {
 
   // One declarative spec drives the whole run.
   ScenarioSpec spec;
-  spec.name = "hpcem_sim";
+  spec.name = args.get("scenario");
   spec.window_start = sim_time_from_date(*start_d);
   spec.window_end = sim_time_from_date(*end_d);
   spec.policy = *policy;
@@ -118,6 +124,18 @@ int main(int argc, char** argv) {
       }
       std::cout << "telemetry written to " << args.get("csv") << " ("
                 << result.cabinet_kw.size() << " samples)\n";
+    }
+
+    if (!args.get("serve-export").empty()) {
+      // Same artifact as the figure benches emit, plus the v3 per-channel
+      // series so hpcem_serve can answer sub-window and what-if queries.
+      RunArtifact artifact = make_run_artifact(*sim, spec, result);
+      artifact.channels =
+          aggregate_channels(sim->telemetry(), /*include_series=*/true);
+      std::cout << "serve artifact written: "
+                << write_artifact_files(artifact,
+                                        args.get("serve-export"))
+                << '\n';
     }
     return tools::kExitOk;
   });
