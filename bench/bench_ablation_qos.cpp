@@ -10,21 +10,18 @@
 #include <vector>
 
 #include "core/assembly.hpp"
+#include "core/scenario_library.hpp"
 #include "util/stats.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
-  const SimTime start = sim_time_from_date({2022, 2, 1});
 
-  auto run = [&](QueueDiscipline discipline) {
-    ScenarioSpec spec;
-    spec.name = "qos-ablation";
-    spec.window_start = start;
-    spec.window_end = start + Duration::days(21.0);
-    spec.warmup = Duration::days(10.0);
-    spec.seed = 777;
-    spec.discipline = discipline;
+  // Both arms live in the committed library; they differ only in
+  // scheduler.discipline (and the priority arm's weights).
+  auto run = [&](const char* scenario) {
+    const ScenarioSpec spec = load_named_scenario(scenario);
+    const SimTime start = spec.window_start;
     const auto sim = FacilityAssembly(spec).run_simulator();
     // Wait-hour samples per QoS class (steady-state jobs only).
     std::map<QosClass, std::vector<double>> waits;
@@ -35,8 +32,8 @@ int main() {
     return waits;
   };
 
-  const auto fifo = run(QueueDiscipline::kFifo);
-  const auto prio = run(QueueDiscipline::kPriority);
+  const auto fifo = run("qos-fifo");
+  const auto prio = run("qos-priority");
 
   TextTable t({"QoS class", "Jobs", "FIFO median wait (h)",
                "FIFO p95 (h)", "Priority median wait (h)",

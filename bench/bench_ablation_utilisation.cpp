@@ -8,11 +8,12 @@
 #include <iostream>
 
 #include "core/assembly.hpp"
+#include "core/scenario_library.hpp"
 #include "util/text_table.hpp"
 
 int main() {
   using namespace hpcem;
-  ScenarioSpec spec = ScenarioSpec::archer2_baseline();
+  ScenarioSpec spec = load_named_scenario("archer2-baseline");
   spec.name = "utilisation-ablation";
   const FacilityAssembly assembly(spec);
   const Facility& facility = assembly.facility();

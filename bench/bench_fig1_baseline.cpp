@@ -5,6 +5,7 @@
 #include "core/assembly.hpp"
 #include "core/report.hpp"
 #include "core/run_artifact.hpp"
+#include "core/scenario_library.hpp"
 #include "obs/session.hpp"
 #include "telemetry/seasonal.hpp"
 #include "util/text_table.hpp"
@@ -13,7 +14,7 @@ int main() {
   using namespace hpcem;
   // Root span + trace/metrics export when HPCEM_OBS=1 (no-op otherwise).
   const obs::ObsSession obs_session("bench_fig1_baseline");
-  const FacilityAssembly assembly(ScenarioSpec::figure1());
+  const FacilityAssembly assembly(load_named_scenario("figure1"));
   const auto sim = assembly.run_simulator();
   const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(

@@ -5,13 +5,14 @@
 #include "core/assembly.hpp"
 #include "core/report.hpp"
 #include "core/run_artifact.hpp"
+#include "core/scenario_library.hpp"
 #include "obs/session.hpp"
 
 int main() {
   using namespace hpcem;
   // Root span + trace/metrics export when HPCEM_OBS=1 (no-op otherwise).
   const obs::ObsSession obs_session("bench_fig2_bios_timeline");
-  const FacilityAssembly assembly(ScenarioSpec::figure2());
+  const FacilityAssembly assembly(load_named_scenario("figure2"));
   const auto sim = assembly.run_simulator();
   const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(

@@ -6,13 +6,14 @@
 #include "core/assembly.hpp"
 #include "core/report.hpp"
 #include "core/run_artifact.hpp"
+#include "core/scenario_library.hpp"
 #include "obs/session.hpp"
 
 int main() {
   using namespace hpcem;
   // Root span + trace/metrics export when HPCEM_OBS=1 (no-op otherwise).
   const obs::ObsSession obs_session("bench_fig3_freq_timeline");
-  const FacilityAssembly assembly(ScenarioSpec::figure3());
+  const FacilityAssembly assembly(load_named_scenario("figure3"));
   const auto sim = assembly.run_simulator();
   const TimelineResult result = analyze_timeline(*sim, assembly.spec());
   std::cout << render_timeline(

@@ -3,6 +3,7 @@
 #include <span>
 #include <utility>
 
+#include "core/scenario_library.hpp"
 #include "telemetry/seasonal.hpp"
 
 #include "util/error.hpp"
@@ -73,41 +74,17 @@ std::optional<SimTime> ScenarioSpec::first_change_in_window() const {
   return first;
 }
 
-ScenarioSpec ScenarioSpec::figure1() {
-  ScenarioSpec spec;
-  spec.name = "figure1-baseline";
-  spec.window_start = sim_time_from_date({2021, 12, 1});
-  spec.window_end = sim_time_from_date({2022, 5, 1});
-  spec.policy = OperatingPolicy::baseline();
-  return spec;
-}
+// The paper campaigns live as data in the committed scenario library;
+// these accessors are thin loads so every existing call site keeps
+// working while scenarios/*.json is the single source of truth.
+ScenarioSpec ScenarioSpec::figure1() { return load_named_scenario("figure1"); }
 
-ScenarioSpec ScenarioSpec::figure2() {
-  ScenarioSpec spec;
-  spec.name = "figure2-bios-change";
-  spec.window_start = sim_time_from_date({2022, 4, 1});
-  spec.window_end = sim_time_from_date({2022, 6, 1});
-  spec.policy = OperatingPolicy::baseline();
-  spec.changes.push_back({sim_time_from_date({2022, 5, 9}),
-                          OperatingPolicy::performance_determinism()});
-  return spec;
-}
+ScenarioSpec ScenarioSpec::figure2() { return load_named_scenario("figure2"); }
 
-ScenarioSpec ScenarioSpec::figure3() {
-  ScenarioSpec spec;
-  spec.name = "figure3-frequency-change";
-  spec.window_start = sim_time_from_date({2022, 11, 1});
-  spec.window_end = sim_time_from_date({2023, 1, 1});
-  spec.policy = OperatingPolicy::performance_determinism();
-  spec.changes.push_back({sim_time_from_date({2022, 12, 1}),
-                          OperatingPolicy::low_frequency_default()});
-  return spec;
-}
+ScenarioSpec ScenarioSpec::figure3() { return load_named_scenario("figure3"); }
 
 ScenarioSpec ScenarioSpec::archer2_baseline() {
-  ScenarioSpec spec = figure1();
-  spec.name = "archer2-baseline";
-  return spec;
+  return load_named_scenario("archer2-baseline");
 }
 
 FacilityAssembly::FacilityAssembly(ScenarioSpec spec)

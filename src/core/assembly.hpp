@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/emissions.hpp"
 #include "core/facility.hpp"
 #include "sim/campaign.hpp"
 #include "telemetry/changepoint.hpp"
@@ -28,12 +29,31 @@ namespace hpcem {
 struct PolicyChange {
   SimTime at{};
   OperatingPolicy policy{};
+
+  friend bool operator==(const PolicyChange&, const PolicyChange&) = default;
 };
 
 /// A maintenance reservation: job starts blocked in [block_from, end).
 struct MaintenanceWindow {
   SimTime block_from{};
   SimTime end{};
+
+  friend bool operator==(const MaintenanceWindow&,
+                         const MaintenanceWindow&) = default;
+};
+
+/// Grid carbon-intensity context a scenario is priced against: a constant
+/// or a piecewise-linear breakpoint curve ((epoch s, gCO2/kWh), strictly
+/// time-sorted, clamped outside its span).  Mirrors the serve layer's
+/// IntensitySpec; the simulator itself does not consume it — it rides on
+/// the spec so emissions pricing (serve regimes/whatif) and the committed
+/// scenario files speak one language.
+struct GridIntensitySeries {
+  std::optional<CarbonIntensity> constant;
+  std::vector<std::pair<double, double>> points;
+
+  friend bool operator==(const GridIntensitySeries&,
+                         const GridIntensitySeries&) = default;
 };
 
 /// Which calibrated machine model a spec runs on.
@@ -87,12 +107,22 @@ struct ScenarioSpec {
   /// Idle-node suspension lever (disabled by default, as on ARCHER2).
   IdlePowerPolicy idle_policy{};
 
+  /// Emissions-pricing context (not consumed by the simulator): the grid
+  /// intensity curve and scope-3 parameters serve regimes/whatif price
+  /// this scenario against.  Carried so a scenario file is the complete
+  /// description of a campaign *and* its emissions question.
+  std::optional<GridIntensitySeries> grid;
+  std::optional<EmbodiedParams> scope3;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
   /// First scheduled change strictly inside the window, if any (the
   /// before/after split instant for analysis).
   [[nodiscard]] std::optional<SimTime> first_change_in_window() const;
 
   /// The paper's three measurement campaigns (Figures 1-3) on the
-  /// flagship machine.
+  /// flagship machine, loaded from the committed scenario library
+  /// (scenarios/figure1.json etc. via core/scenario_library.hpp).
   [[nodiscard]] static ScenarioSpec figure1();
   [[nodiscard]] static ScenarioSpec figure2();
   [[nodiscard]] static ScenarioSpec figure3();

@@ -33,6 +33,9 @@ struct EmbodiedParams {
   [[nodiscard]] CarbonMass annual() const {
     return total / lifetime_years;
   }
+
+  friend bool operator==(const EmbodiedParams&,
+                         const EmbodiedParams&) = default;
 };
 
 /// Strategy recommendation derived from the scope balance.

@@ -1,0 +1,38 @@
+#include "core/scenario_library.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/spec_io.hpp"
+
+#ifndef HPCEM_SCENARIO_DIR
+#define HPCEM_SCENARIO_DIR "scenarios"
+#endif
+
+namespace hpcem {
+
+std::string scenario_library_dir() {
+  if (const char* env = std::getenv("HPCEM_SCENARIO_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return HPCEM_SCENARIO_DIR;
+}
+
+ScenarioSpec load_named_scenario(const std::string& name) {
+  return load_scenario_file(scenario_library_dir() + "/" + name + ".json");
+}
+
+std::vector<std::string> list_scenario_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace hpcem

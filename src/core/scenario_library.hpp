@@ -1,0 +1,30 @@
+// The committed scenario library: named spec files under `scenarios/`.
+//
+// The paper's campaigns (figures 1-3, the serve baselines, the ablation
+// sweeps) live as data files, not C++; `load_named_scenario("figure1")`
+// is the one sanctioned way code picks them up.  The directory resolves
+// at build time to the source tree's `scenarios/` and may be redirected
+// at run time with the HPCEM_SCENARIO_DIR environment variable (CI and
+// installed trees).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assembly.hpp"
+
+namespace hpcem {
+
+/// The active scenario directory: $HPCEM_SCENARIO_DIR if set, else the
+/// compile-time default (the source tree's `scenarios/`).
+[[nodiscard]] std::string scenario_library_dir();
+
+/// Load and validate `<scenario_library_dir()>/<name>.json`.
+[[nodiscard]] ScenarioSpec load_named_scenario(const std::string& name);
+
+/// Every `*.json` spec file directly under `dir`, sorted by path
+/// (campaign manifests live in subdirectories and are not listed).
+[[nodiscard]] std::vector<std::string> list_scenario_files(
+    const std::string& dir);
+
+}  // namespace hpcem

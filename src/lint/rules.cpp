@@ -738,6 +738,71 @@ class ServeObsInstrumentationRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule: scenario-in-data
+// ---------------------------------------------------------------------------
+// Scenarios are data, not code: every harness under bench/ and tools/ must
+// take its `ScenarioSpec` from the committed library (scenarios/*.json via
+// load_named_scenario / load_scenario_file / parse_scenario /
+// scenario_from_json, or the core figure factories that wrap them).  A
+// hard-coded literal assembly in a harness silently forks the scenario's
+// source of truth away from the schema-checked files.
+class ScenarioInDataRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "scenario-in-data";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "bench/ and tools/ must load ScenarioSpec from the committed "
+           "scenario library, not assemble literals in C++";
+  }
+  void check_file(const FileContext& file,
+                  std::vector<Diagnostic>& out) const override {
+    if (!file.in_dir("bench/") && !file.in_dir("tools/")) return;
+    static constexpr std::array kLoaders = {
+        "load_named_scenario", "load_scenario_file", "parse_scenario",
+        "scenario_from_json",  "figure1",            "figure2",
+        "figure3",             "archer2_baseline"};
+    const Tokens& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_identifier("ScenarioSpec")) continue;
+      // Only declarations: `ScenarioSpec name ...`.  Qualified uses
+      // (ScenarioSpec::...), template arguments (<ScenarioSpec>) and
+      // reference/pointer parameters (ScenarioSpec& spec) are fine — they
+      // consume a spec, they do not assemble one.
+      const std::size_t j = next_code(toks, i);
+      if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      // Scan the initializer up to the terminating ';' for a sanctioned
+      // loader call; `ScenarioSpec spec;` (default-construct, then
+      // member-by-member literal assembly) has none by construction.
+      bool sanctioned = false;
+      int depth = 0;
+      for (std::size_t k = next_code(toks, j); k < toks.size();
+           k = next_code(toks, k)) {
+        const Token& t = toks[k];
+        if (depth == 0 && (t.is_punct(";") || t.is_punct(","))) break;
+        if (t.is_punct("(") || t.is_punct("{") || t.is_punct("[")) ++depth;
+        if (t.is_punct(")") || t.is_punct("}") || t.is_punct("]")) --depth;
+        if (t.kind == TokenKind::kIdentifier &&
+            std::find(kLoaders.begin(), kLoaders.end(), t.text) !=
+                kLoaders.end()) {
+          sanctioned = true;
+          break;
+        }
+      }
+      if (!sanctioned) {
+        emit(out, name(), file, toks[i],
+             "ScenarioSpec '" + toks[j].text +
+                 "' is assembled in C++; scenarios are data — load it "
+                 "from the committed library (load_named_scenario, "
+                 "--spec; see docs/SCENARIO_SCHEMA.md)");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> default_rules() {
@@ -752,6 +817,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<HeaderPragmaOnceRule>());
   rules.push_back(std::make_unique<NoIncludeCycleRule>());
   rules.push_back(std::make_unique<ServeObsInstrumentationRule>());
+  rules.push_back(std::make_unique<ScenarioInDataRule>());
   return rules;
 }
 

@@ -25,6 +25,9 @@ struct IdlePowerPolicy {
   double suspendable_fraction = 0.7;
   /// Time to bring a suspended node back to service.
   Duration wake_latency = Duration::minutes(3.0);
+
+  friend bool operator==(const IdlePowerPolicy&,
+                         const IdlePowerPolicy&) = default;
 };
 
 /// Fleet idle draw for `idle_nodes` idle nodes under a policy.

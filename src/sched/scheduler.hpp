@@ -38,6 +38,9 @@ struct PriorityWeights {
   double per_wait_hour = 100.0;
   /// Priority per node of job size (helps wide jobs assemble).
   double per_node = 0.2;
+
+  friend bool operator==(const PriorityWeights&,
+                         const PriorityWeights&) = default;
 };
 
 /// Scheduler tunables.

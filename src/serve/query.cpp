@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/spec_io.hpp"
 #include "grid/carbon.hpp"
 #include "util/sim_time.hpp"
 #include "util/stats.hpp"
@@ -176,10 +177,9 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
     r.channel = v.at("channel").as_string();
   } else if (op == "regimes") {
     r.op = Op::kRegimes;
-    reject_unknown_members(
-        v, {"op", "id", "scenario", "intensity", "start", "end", "scope3"});
+    reject_unknown_members(v, {"op", "id", "scenario", "intensity", "start",
+                               "end", "scope3", "spec"});
     r.scenario = v.at("scenario").as_string();
-    r.intensity = intensity_from_json(v.at("intensity"));
   } else if (op == "compare") {
     r.op = Op::kCompare;
     reject_unknown_members(v, {"op", "id", "a", "b"});
@@ -188,10 +188,9 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
   } else if (op == "whatif") {
     r.op = Op::kWhatIf;
     reject_unknown_members(v, {"op", "id", "scenario", "channel", "intensity",
-                               "start", "end", "scope3"});
+                               "start", "end", "scope3", "spec"});
     r.scenario = v.at("scenario").as_string();
     r.channel = v.at("channel").as_string();
-    r.intensity = intensity_from_json(v.at("intensity"));
   } else {
     throw ParseError("query: unknown op '" + op + "'");
   }
@@ -204,8 +203,35 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
   if (r.start && r.end && *r.end < *r.start) {
     throw ParseError("query: end must not precede start");
   }
+  if (const JsonValue* intensity = v.get("intensity")) {
+    r.intensity = intensity_from_json(*intensity);
+  }
   if (const JsonValue* scope3 = v.get("scope3")) {
     r.embodied = embodied_from_json(*scope3);
+  }
+  if (const JsonValue* spec = v.get("spec")) {
+    // Inline scenario-spec override: the `grid` / `scope3` sections in the
+    // scenario-file grammar (docs/SCENARIO_SCHEMA.md), so a what-if is
+    // phrased in exactly the language of the committed scenario library.
+    // Mutually exclusive with the wire-level members it resolves into —
+    // the canonical key (and so the cache) only ever sees the resolved
+    // intensity/scope3 form.
+    if (r.intensity || r.embodied) {
+      throw ParseError(
+          "query: spec excludes the intensity and scope3 members");
+    }
+    const SpecOverrides o = spec_overrides_from_json(*spec);
+    if (o.grid) {
+      IntensitySpec resolved;
+      resolved.constant = o.grid->constant;
+      resolved.points = o.grid->points;
+      r.intensity = std::move(resolved);
+    }
+    if (o.scope3) r.embodied = *o.scope3;
+  }
+  if ((r.op == Op::kRegimes || r.op == Op::kWhatIf) && !r.intensity) {
+    throw ParseError("query: " + op_name(r.op) +
+                     " needs an intensity (or a spec with a grid section)");
   }
   return r;
 }

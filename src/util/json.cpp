@@ -164,7 +164,8 @@ namespace {
 /// Recursive-descent JSON parser over a string_view.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text, JsonParseOptions options)
+      : text_(text), options_(options) {}
 
   JsonValue parse_document() {
     JsonValue v = parse_value();
@@ -175,14 +176,50 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw ParseError("json: " + why + " at offset " + std::to_string(pos_));
+    // 1-based line/column of pos_, so editors can jump to the defect.
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError("json: " + why + " at line " + std::to_string(line) +
+                     ", column " + std::to_string(col));
   }
 
   void skip_ws() {
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (options_.allow_comments && c == '/' && pos_ + 1 < text_.size()) {
+        if (text_[pos_ + 1] == '/') {
+          pos_ += 2;
+          while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+          continue;
+        }
+        if (text_[pos_ + 1] == '*') {
+          const std::size_t open = pos_;
+          pos_ += 2;
+          while (pos_ + 1 < text_.size() &&
+                 !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+            ++pos_;
+          }
+          if (pos_ + 1 >= text_.size()) {
+            pos_ = open;
+            fail("unterminated /* comment");
+          }
+          pos_ += 2;
+          continue;
+        }
+      }
+      break;
     }
   }
 
@@ -360,13 +397,19 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonParseOptions options_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 JsonValue JsonValue::parse(std::string_view text) {
-  return JsonParser(text).parse_document();
+  return JsonParser(text, JsonParseOptions{}).parse_document();
+}
+
+JsonValue JsonValue::parse(std::string_view text,
+                           const JsonParseOptions& options) {
+  return JsonParser(text, options).parse_document();
 }
 
 }  // namespace hpcem

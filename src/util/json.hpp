@@ -17,6 +17,14 @@
 
 namespace hpcem {
 
+/// Parse-time dialect switches.  The default is strict JSON; the scenario
+/// spec layer (core/spec_io.hpp) enables comments for human-edited files.
+/// Artifacts and query wire formats stay strict.
+struct JsonParseOptions {
+  /// Treat `// line` and `/* block */` comments as whitespace.
+  bool allow_comments = false;
+};
+
 /// One JSON value: null, bool, number, string, array or object.  Objects
 /// preserve insertion order so serialized artifacts are deterministic and
 /// diffable.
@@ -77,8 +85,10 @@ class JsonValue {
   [[nodiscard]] std::string dump(int indent = 2) const;
 
   /// Parse a complete JSON document; throws ParseError on malformed input
-  /// or trailing garbage.
+  /// or trailing garbage.  Errors report 1-based line and column.
   [[nodiscard]] static JsonValue parse(std::string_view text);
+  [[nodiscard]] static JsonValue parse(std::string_view text,
+                                       const JsonParseOptions& options);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

@@ -24,6 +24,9 @@ struct OperatingPolicy {
   /// Expected-slowdown threshold for the auto-revert (paper: >10%).
   double revert_threshold = 0.10;
 
+  friend bool operator==(const OperatingPolicy&,
+                         const OperatingPolicy&) = default;
+
   /// The P-state a job actually runs at under this policy.
   [[nodiscard]] PState resolve_pstate(const ApplicationModel& app,
                                       const JobSpec& job) const;

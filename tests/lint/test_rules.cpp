@@ -382,5 +382,67 @@ TEST(NoIncludeCycle, ConfigAllowSilencesCycle) {
   EXPECT_EQ(report.suppressed, 1u);
 }
 
+// ------------------------------------------------------------ scenario-in-data
+TEST(ScenarioInData, FlagsLiteralAssemblyInBenchAndTools) {
+  const auto bench = lint_one("bench/bench_x.cpp",
+                              "int main() {\n"
+                              "  ScenarioSpec spec;\n"
+                              "  spec.name = \"ad-hoc\";\n"
+                              "  spec.seed = 7;\n"
+                              "}\n");
+  EXPECT_EQ(count_rule(bench, "scenario-in-data"), 1u);
+  EXPECT_EQ(bench.diagnostics[0].line, 2u);
+
+  const auto tool = lint_one(
+      "tools/hpcem_x.cpp",
+      "ScenarioSpec spec{\"name\", Machine::kMicro};\n");
+  EXPECT_EQ(count_rule(tool, "scenario-in-data"), 1u);
+}
+
+TEST(ScenarioInData, AllowsSanctionedLoadersAndFactories) {
+  const auto report = lint_one(
+      "bench/bench_y.cpp",
+      "ScenarioSpec a = load_named_scenario(\"figure1\");\n"
+      "const ScenarioSpec b = load_scenario_file(path);\n"
+      "ScenarioSpec c = parse_scenario(text);\n"
+      "ScenarioSpec d = scenario_from_json(doc);\n"
+      "ScenarioSpec e = ScenarioSpec::figure2();\n"
+      "const ScenarioSpec f = ScenarioSpec::archer2_baseline();\n");
+  EXPECT_EQ(count_rule(report, "scenario-in-data"), 0u);
+}
+
+TEST(ScenarioInData, IgnoresConsumingUsesAndOtherDirs) {
+  // References/pointers, qualified statics and template arguments consume a
+  // spec; src/ and tests/ may assemble literals (the loader itself must).
+  const auto bench = lint_one("bench/bench_z.cpp",
+                              "void run(const ScenarioSpec& spec);\n"
+                              "std::vector<ScenarioSpec> specs;\n"
+                              "auto g = ScenarioSpec::figure3;\n");
+  EXPECT_EQ(count_rule(bench, "scenario-in-data"), 0u);
+
+  const auto core = lint_one("src/core/spec_io.cpp",
+                             "ScenarioSpec spec;\nspec.seed = 1;\n");
+  EXPECT_EQ(count_rule(core, "scenario-in-data"), 0u);
+  const auto test = lint_one("tests/core/test_spec_io.cpp",
+                             "ScenarioSpec spec;\n");
+  EXPECT_EQ(count_rule(test, "scenario-in-data"), 0u);
+}
+
+TEST(ScenarioInData, ConfigAllowAndInlineSuppression) {
+  const auto inline_ok = lint_one(
+      "bench/bench_w.cpp",
+      "ScenarioSpec spec;  // hpcem-lint: allow(scenario-in-data)\n");
+  EXPECT_EQ(count_rule(inline_ok, "scenario-in-data"), 0u);
+  EXPECT_EQ(inline_ok.suppressed, 1u);
+
+  LintEngine engine;
+  engine.add_source("tools/hpcem_w.cpp", "ScenarioSpec spec;\n");
+  LintConfig config;
+  config.allows.push_back({"scenario-in-data", "tools/hpcem_w.cpp"});
+  const auto report = engine.run(config);
+  EXPECT_EQ(count_rule(report, "scenario-in-data"), 0u);
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
 }  // namespace
 }  // namespace hpcem::lint

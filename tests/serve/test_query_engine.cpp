@@ -270,6 +270,62 @@ TEST_F(QueryEngineTest, HandleLineWrapsOkAndErrorEnvelopes) {
   EXPECT_EQ(bad_scenario.find(R"({"ok":false,"id":"cmp","error":)"), 0u);
 }
 
+TEST_F(QueryEngineTest, InlineSpecOverrideMatchesWireSpelling) {
+  const QueryEngine engine(store_);
+  // The same what-if phrased in the scenario-spec grammar and in the
+  // wire-level members must canonicalize — and answer — identically.
+  const auto spec_phrased = QueryRequest::from_json_text(
+      R"({"op":"whatif","scenario":"base","channel":"cabinet_kw",)"
+      R"("spec":{"grid":{"constant_g_per_kwh":100},)"
+      R"("scope3":{"total_tonnes":1461,"lifetime_years":4}}})");
+  const auto wire_phrased = QueryRequest::from_json_text(
+      R"({"op":"whatif","scenario":"base","channel":"cabinet_kw",)"
+      R"("intensity":{"constant_g_per_kwh":100},)"
+      R"("scope3":{"total_tonnes":1461,"lifetime_years":4}})");
+  EXPECT_EQ(spec_phrased.canonical_key(), wire_phrased.canonical_key());
+  EXPECT_EQ(engine.evaluate(spec_phrased).dump(0),
+            engine.evaluate(wire_phrased).dump(0));
+}
+
+TEST_F(QueryEngineTest, InlineSpecOverrideAcceptsIsoPointTimes) {
+  const QueryEngine engine(store_);
+  // The spec grammar's grid points accept ISO date-time strings; the
+  // wire-level intensity takes the resolved epochs.
+  const auto spec_phrased = QueryRequest::from_json_text(
+      R"({"op":"regimes","scenario":"base","start":0,"end":130000,)"
+      R"("spec":{"grid":{"points":[[0,0],[130000,130]]}}})");
+  const JsonValue r = engine.evaluate(spec_phrased);
+  EXPECT_NEAR(r.at("seconds").at("balanced").as_number(), 70000.0, 1e-6);
+}
+
+TEST(QueryRequest, SpecOverrideValidation) {
+  // spec excludes the wire-level members it resolves into.
+  EXPECT_THROW(QueryRequest::from_json_text(
+                   R"({"op":"whatif","scenario":"s","channel":"c",)"
+                   R"("intensity":{"constant_g_per_kwh":1},)"
+                   R"("spec":{"grid":{"constant_g_per_kwh":2}}})"),
+               ParseError);
+  // A spec with no grid leaves regimes/whatif without an intensity.
+  EXPECT_THROW(QueryRequest::from_json_text(
+                   R"({"op":"whatif","scenario":"s","channel":"c",)"
+                   R"("spec":{"scope3":{"total_tonnes":1,)"
+                   R"("lifetime_years":1}}})"),
+               ParseError);
+  // Errors inside the fragment carry scenario-schema paths.
+  try {
+    (void)QueryRequest::from_json_text(
+        R"({"op":"regimes","scenario":"s","spec":{"policy":"eco"}})");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()), "spec: $.spec.policy: unknown member");
+  }
+  // list/compare/window_aggregate do not take a spec member.
+  EXPECT_THROW(QueryRequest::from_json_text(
+                   R"({"op":"list","spec":{"grid":)"
+                   R"({"constant_g_per_kwh":1}}})"),
+               ParseError);
+}
+
 TEST_F(QueryEngineTest, ResponsesAreByteStableAcrossRepeats) {
   const QueryEngine engine(store_);
   const std::string line =

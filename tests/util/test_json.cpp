@@ -101,6 +101,51 @@ TEST(JsonParse, MalformedInputThrows) {
   EXPECT_THROW(JsonValue::parse("1.2.3"), ParseError);
 }
 
+TEST(JsonParse, ErrorsReportLineAndColumn) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)JsonValue::parse(text);
+      return std::string("(no error)");
+    } catch (const ParseError& e) {
+      return std::string(e.what());
+    }
+  };
+  EXPECT_EQ(message_of(""), "json: unexpected end of input at line 1, "
+                            "column 1");
+  EXPECT_EQ(message_of("{\"a\": 1,\n \"b\": oops}"),
+            "json: expected a value at line 2, column 7");
+  EXPECT_EQ(message_of("[1, 2\n3]"),
+            "json: expected ',' or ']' in array at line 2, column 1");
+  EXPECT_EQ(message_of("{\"a\": 1} x"),
+            "json: trailing characters after document at line 1, column 10");
+}
+
+TEST(JsonParse, CommentsRejectedByDefaultAllowedByOption) {
+  const std::string text =
+      "// leading\n{\"a\": /* inline */ 1,\n\"b\": 2 // trailing\n}";
+  EXPECT_THROW(JsonValue::parse(text), ParseError);
+
+  const JsonValue v =
+      JsonValue::parse(text, JsonParseOptions{.allow_comments = true});
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("b").as_number(), 2.0);
+
+  // Comment markers inside strings are content, not comments.
+  const JsonValue s = JsonValue::parse(
+      R"({"url": "http://x/*y"})", JsonParseOptions{.allow_comments = true});
+  EXPECT_EQ(s.at("url").as_string(), "http://x/*y");
+
+  // An unterminated block comment points at its opener.
+  try {
+    (void)JsonValue::parse("{\n/* never closed",
+                           JsonParseOptions{.allow_comments = true});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "json: unterminated /* comment at line 2, column 1");
+  }
+}
+
 TEST(JsonParse, RoundTripComplexDocument) {
   JsonValue v = JsonValue::object();
   v.set("schema", "hpcem.run_artifact");
