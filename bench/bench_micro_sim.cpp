@@ -1,7 +1,10 @@
 // Microbenchmarks (google-benchmark): throughput of the hot paths that the
 // facility-scale reproductions depend on — power-model evaluation, the
-// event engine, scheduler passes and changepoint detection.
+// event engine, scheduler passes, changepoint detection and the end-to-end
+// facility simulation at the paper's 5,860-node scale.
 #include <benchmark/benchmark.h>
+
+#include <deque>
 
 #include "core/assembly.hpp"
 #include "core/facility.hpp"
@@ -10,6 +13,7 @@
 #include "telemetry/changepoint.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/rng.hpp"
+#include "workload/policy.hpp"
 
 namespace {
 
@@ -33,11 +37,13 @@ void BM_EngineScheduleRun(benchmark::State& state) {
     SimEngine engine;
     std::uint64_t sum = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      engine.schedule(SimTime(static_cast<double>(i)), [&sum, i] {
-        sum += i;
-      });
+      engine.schedule(SimTime(static_cast<double>(i)),
+                      SimEventKind::kFinish, i);
     }
-    engine.run_all();
+    SimEvent ev;
+    while (engine.next(SimTime(static_cast<double>(n)), ev)) {
+      sum += ev.payload;
+    }
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
@@ -72,6 +78,86 @@ void BM_SchedulerChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedulerChurn);
+
+// Full-scale scheduler churn: the paper's 5,860-node machine with several
+// hundred running jobs and a standing queue, so every submit/finish pass
+// exercises the EASY backfill shadow over the whole running set.
+void BM_SchedulerShadowChurn(benchmark::State& state) {
+  std::uint64_t passes = 0;
+  for (auto _ : state) {
+    SchedulerConfig cfg;
+    cfg.nodes = 5860;
+    Scheduler sched(cfg);
+    Rng rng(7);
+    SimTime now(0.0);
+    JobId id = 1;
+    std::deque<JobId> running;
+    for (int step = 0; step < 2000; ++step) {
+      JobSpec j;
+      j.id = id++;
+      j.app = "x";
+      j.nodes = static_cast<std::size_t>(rng.uniform_int(1, 64));
+      j.requested_walltime = Duration::hours(1.0 + 23.0 * rng.uniform());
+      j.submit_time = now;
+      sched.submit(std::move(j));
+      for (auto& s : sched.schedule_pass(now)) {
+        // Realised runtimes are shorter than the walltime estimate, which
+        // is what creates the backfill opportunities.
+        sched.set_expected_end(
+            s.job.id, now + s.job.requested_walltime * (0.4 + 0.5 * rng.uniform()));
+        running.push_back(s.job.id);
+      }
+      ++passes;
+      while (running.size() > 400) {
+        sched.finish(running.front(), now);
+        running.pop_front();
+        for (auto& s : sched.schedule_pass(now)) running.push_back(s.job.id);
+        ++passes;
+      }
+      now += Duration::minutes(1.0);
+    }
+    benchmark::DoNotOptimize(sched.finished_total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(passes));
+  state.counters["sched_passes_per_sec"] = benchmark::Counter(
+      static_cast<double>(passes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerShadowChurn)->Unit(benchmark::kMillisecond);
+
+// End-to-end facility simulation at full ARCHER2 scale (5,860 nodes, the
+// production job mix, 30-minute cabinet metering, a BIOS policy change
+// mid-window): the hot loop behind figures 1-3 and every campaign.  The
+// counters make the JSON output machine-comparable across commits
+// (ISSUE 7 acceptance: >=3x end-to-end on this configuration).
+void BM_FacilitySimFullScale(benchmark::State& state) {
+  const auto days = static_cast<double>(state.range(0));
+  static const Facility facility = Facility::archer2();
+  const SimTime start = sim_time_from_date({2022, 4, 1});
+  const SimTime end = start + Duration::days(days);
+  std::int64_t samples = 0;
+  std::int64_t jobs = 0;
+  std::int64_t passes = 0;
+  for (auto _ : state) {
+    auto sim = facility.make_simulator(42);
+    sim->schedule_policy_change(start + Duration::days(days / 2.0),
+                                OperatingPolicy::performance_determinism());
+    sim->run(start, end);
+    samples += static_cast<std::int64_t>(
+        sim->telemetry().series(sim->cabinet_channel()).total_appended());
+    jobs += static_cast<std::int64_t>(sim->completed().size());
+    passes += static_cast<std::int64_t>(sim->scheduler().passes_total());
+  }
+  state.SetItemsProcessed(samples);
+  state.counters["samples_per_sec"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+  state.counters["jobs_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["sched_passes_per_sec"] = benchmark::Counter(
+      static_cast<double>(passes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FacilitySimFullScale)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ChangepointDetect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -20,7 +20,8 @@ ObsSession::~ObsSession() {
   if (!active_) return;
   root_.reset();  // close the root span before snapshotting
   try {
-    write_trace_file(trace_snapshot(), trace_path());
+    const MetricsSnapshot metrics = metrics_snapshot();
+    write_trace_file(trace_snapshot(), trace_path(), &metrics);
     std::cout << "obs: trace written: " << trace_path() << '\n';
   } catch (const std::exception& e) {
     // A failed trace write must not turn a successful run into a crash

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <tuple>
 
+#include "obs/metrics_export.hpp"
 #include "util/error.hpp"
 
 namespace hpcem::obs {
@@ -18,12 +19,14 @@ double export_time(std::uint64_t raw, bool deterministic) {
 
 }  // namespace
 
-JsonValue trace_json(const TraceSnapshot& snap) {
+JsonValue trace_json(const TraceSnapshot& snap,
+                     const MetricsSnapshot* metrics) {
   JsonValue doc = JsonValue::object();
   doc.set("schema", "hpcem.trace");
   doc.set("schema_version", kTraceSchemaVersion);
   doc.set("deterministic", snap.deterministic);
   doc.set("time_unit", snap.deterministic ? "ticks" : "us");
+  if (metrics != nullptr) doc.set("metrics", metrics_json(*metrics));
 
   JsonValue events = JsonValue::array();
   for (std::size_t ti = 0; ti < snap.threads.size(); ++ti) {
@@ -64,13 +67,15 @@ JsonValue trace_json(const TraceSnapshot& snap) {
   return doc;
 }
 
-std::string trace_json_text(const TraceSnapshot& snap) {
-  return trace_json(snap).dump(2);
+std::string trace_json_text(const TraceSnapshot& snap,
+                            const MetricsSnapshot* metrics) {
+  return trace_json(snap, metrics).dump(2);
 }
 
-void write_trace_file(const TraceSnapshot& snap, const std::string& path) {
+void write_trace_file(const TraceSnapshot& snap, const std::string& path,
+                      const MetricsSnapshot* metrics) {
   std::ofstream out(path, std::ios::binary);
-  out << trace_json_text(snap);
+  out << trace_json_text(snap, metrics);
   if (!out) throw ParseError("write_trace_file: cannot write " + path);
 }
 

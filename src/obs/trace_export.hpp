@@ -3,8 +3,13 @@
 // Serializes a TraceSnapshot as a Trace Event Format JSON document —
 // loadable in chrome://tracing or https://ui.perfetto.dev — with complete
 // ("ph":"X") events plus thread_name metadata.  Extra top-level keys
-// (schema, deterministic, time_unit) identify the document to hpcem_prof;
-// Chrome ignores them.
+// (schema, deterministic, time_unit, metrics) identify the document to
+// hpcem_prof; Chrome ignores them.
+//
+// Schema v2 optionally embeds the merged metrics snapshot as a "metrics"
+// member (the hpcem.obs_metrics document, byte-identical to the artifact
+// embedding), so one trace file carries both the span profile and the
+// counter/histogram set hpcem_prof's --metric gate reads.
 //
 // Output is deterministically ordered: threads as ordered by
 // trace_snapshot(), events within a thread by (begin, -end, name).  In
@@ -19,15 +24,19 @@
 
 namespace hpcem::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
 
-/// The trace document as a JsonValue.
-[[nodiscard]] JsonValue trace_json(const TraceSnapshot& snap);
+/// The trace document as a JsonValue.  When `metrics` is non-null the
+/// snapshot is embedded as the "metrics" member.
+[[nodiscard]] JsonValue trace_json(const TraceSnapshot& snap,
+                                   const MetricsSnapshot* metrics = nullptr);
 
 /// Serialized trace document (2-space indent, deterministic bytes).
-[[nodiscard]] std::string trace_json_text(const TraceSnapshot& snap);
+[[nodiscard]] std::string trace_json_text(
+    const TraceSnapshot& snap, const MetricsSnapshot* metrics = nullptr);
 
 /// Write the trace document to `path`; throws ParseError on I/O failure.
-void write_trace_file(const TraceSnapshot& snap, const std::string& path);
+void write_trace_file(const TraceSnapshot& snap, const std::string& path,
+                      const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace hpcem::obs

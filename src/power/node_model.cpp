@@ -60,28 +60,35 @@ Power min_feasible_loaded_power(const NodePowerParams& params,
   return Power::watts(params.idle.w() / denom);
 }
 
-Power node_power(const NodePowerParams& params,
-                 const DynamicPowerProfile& profile,
-                 const NodeActivity& activity) {
+NodePowerTerms node_power_terms(const NodePowerParams& params,
+                                const DynamicPowerProfile& profile,
+                                const NodeActivity& activity) {
   require(activity.load >= 0.0 && activity.load <= 1.0,
           "node_power: load must be in [0, 1]");
-  require(activity.silicon_factor >= 0.0,
-          "node_power: silicon_factor must be non-negative");
   require(is_valid_pstate(activity.pstate), "node_power: invalid P-state");
 
   const Frequency f_eff = effective_frequency(
       params.cpu, activity.pstate, activity.mode, activity.app_boost);
   const double phi = dvfs_factor(params.cpu, f_eff, activity.app_boost);
 
-  double det = 1.0;
-  if (activity.mode == DeterminismMode::kPowerDeterminism) {
-    det += activity.power_det_uplift * activity.silicon_factor;
-  }
+  NodePowerTerms t;
+  t.idle_w = params.idle.w();
+  t.load = activity.load;
+  t.uncore_w = profile.uncore_w;
+  t.core_phi_w = profile.core_w * phi;
+  t.uplift = activity.mode == DeterminismMode::kPowerDeterminism
+                 ? activity.power_det_uplift
+                 : 0.0;
+  return t;
+}
 
-  const double dynamic_w =
-      activity.load *
-      (profile.uncore_w + profile.core_w * phi * det);
-  return Power::watts(params.idle.w() + dynamic_w);
+Power node_power(const NodePowerParams& params,
+                 const DynamicPowerProfile& profile,
+                 const NodeActivity& activity) {
+  require(activity.silicon_factor >= 0.0,
+          "node_power: silicon_factor must be non-negative");
+  return Power::watts(node_power_terms(params, profile, activity)
+                          .watts(activity.silicon_factor));
 }
 
 }  // namespace hpcem

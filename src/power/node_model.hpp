@@ -76,6 +76,33 @@ struct NodeActivity {
   double silicon_factor = 1.0;
 };
 
+/// Loop-invariant terms of `node_power` for a fixed (load, P-state, mode,
+/// dynamic profile): across a fleet — or a policy epoch — only the silicon
+/// factor varies, so the DVFS power-law state (effective clock, f·V² factor,
+/// determinism uplift) can be hoisted once and each node evaluated with two
+/// multiply-adds.  `watts(s)` reproduces `node_power` bit-for-bit: the
+/// floating-point expression is identical term by term.
+struct NodePowerTerms {
+  double idle_w = 0.0;
+  double load = 1.0;
+  double uncore_w = 0.0;
+  /// core_w scaled by the dvfs factor at the effective clock.
+  double core_phi_w = 0.0;
+  /// Per-silicon determinism uplift (0 under performance determinism).
+  double uplift = 0.0;
+
+  [[nodiscard]] double watts(double silicon_factor) const {
+    const double det = 1.0 + uplift * silicon_factor;
+    return idle_w + load * (uncore_w + core_phi_w * det);
+  }
+};
+
+/// Hoist the silicon-independent part of `node_power` (validates the
+/// activity's load/P-state once; `activity.silicon_factor` is ignored).
+[[nodiscard]] NodePowerTerms node_power_terms(
+    const NodePowerParams& params, const DynamicPowerProfile& profile,
+    const NodeActivity& activity);
+
 /// Evaluate node electrical power for an activity and dynamic profile.
 [[nodiscard]] Power node_power(const NodePowerParams& params,
                                const DynamicPowerProfile& profile,

@@ -17,25 +17,41 @@ void Scheduler::submit(JobSpec job) {
   queue_.push_back(std::move(job));
 }
 
+void Scheduler::ends_insert(SimTime end, JobId id, std::size_t nodes) {
+  const auto pos = std::lower_bound(
+      ends_.begin(), ends_.end(), std::make_pair(end, id),
+      [](const EndEntry& e, const std::pair<SimTime, JobId>& key) {
+        if (e.end != key.first) return e.end < key.first;
+        return e.id < key.second;
+      });
+  ends_.insert(pos, EndEntry{end, id, nodes});
+}
+
+void Scheduler::ends_erase(SimTime end, JobId id) {
+  const auto pos = std::lower_bound(
+      ends_.begin(), ends_.end(), std::make_pair(end, id),
+      [](const EndEntry& e, const std::pair<SimTime, JobId>& key) {
+        if (e.end != key.first) return e.end < key.first;
+        return e.id < key.second;
+      });
+  HPCEM_ASSERT(pos != ends_.end() && pos->id == id && pos->end == end,
+               "shadow buffer out of sync with running set");
+  ends_.erase(pos);
+}
+
 Scheduler::Shadow Scheduler::shadow_for(std::size_t count,
                                         SimTime now) const {
   HPCEM_ASSERT(count <= config_.nodes, "shadow for oversized job");
   if (allocator_.free_count() >= count) {
     return {now, allocator_.free_count() - count};
   }
-  // Sweep running jobs in expected-end order, accumulating freed nodes.
-  std::vector<std::pair<SimTime, std::size_t>> ends;
-  ends.reserve(running_.size());
-  for (const auto& [id, r] : running_) {
-    ends.emplace_back(r.expected_end, r.nodes.size());
-  }
-  std::sort(ends.begin(), ends.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sweep running jobs in expected-end order, accumulating freed nodes —
+  // a prefix scan of the incrementally maintained buffer.
   std::size_t freed = allocator_.free_count();
-  for (const auto& [end, n] : ends) {
-    freed += n;
+  for (const EndEntry& e : ends_) {
+    freed += e.nodes;
     if (freed >= count) {
-      return {std::max(end, now), freed - count};
+      return {std::max(e.end, now), freed - count};
     }
   }
   // Unreachable for feasible jobs: all running jobs ending frees the
@@ -68,14 +84,27 @@ double Scheduler::priority_of(const JobSpec& job, SimTime now) const {
 
 void Scheduler::order_queue(SimTime now) {
   if (config_.discipline == QueueDiscipline::kFifo) return;
+  // Priority keys are pure in (job, now): compute each once, then
+  // stable-sort a permutation — same order as sorting with a comparator
+  // that recomputes priority_of per comparison, at O(n) evaluations.
+  const std::size_t n = queue_.size();
+  priority_keys_.clear();
+  priority_keys_.reserve(n);
+  for (const JobSpec& j : queue_) priority_keys_.push_back(priority_of(j, now));
+  order_perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_perm_[i] = i;
   // Stable sort keeps submission order among equal priorities.
-  std::stable_sort(queue_.begin(), queue_.end(),
-                   [&](const JobSpec& a, const JobSpec& b) {
-                     return priority_of(a, now) > priority_of(b, now);
+  std::stable_sort(order_perm_.begin(), order_perm_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return priority_keys_[a] > priority_keys_[b];
                    });
+  std::deque<JobSpec> ordered;
+  for (std::size_t i : order_perm_) ordered.push_back(std::move(queue_[i]));
+  queue_ = std::move(ordered);
 }
 
 std::vector<JobStart> Scheduler::schedule_pass(SimTime now) {
+  ++passes_total_;
   std::vector<JobStart> starts;
   order_queue(now);
 
@@ -88,6 +117,7 @@ std::vector<JobStart> Scheduler::schedule_pass(SimTime now) {
     HPCEM_ASSERT(nodes.has_value(), "allocation must succeed after fit check");
     const JobId id = job.id;
     const SimTime expected_end = now + job.requested_walltime;
+    ends_insert(expected_end, id, nodes->size());
     running_.emplace(id, Running{*nodes, expected_end});
     ++started_total_;
     starts.push_back({std::move(job), std::move(*nodes)});
@@ -120,7 +150,9 @@ std::vector<JobStart> Scheduler::schedule_pass(SimTime now) {
     auto nodes = allocator_.allocate(job.nodes);
     HPCEM_ASSERT(nodes.has_value(), "backfill allocation must succeed");
     const JobId id = job.id;
-    running_.emplace(id, Running{*nodes, now + job.requested_walltime});
+    const SimTime expected_end = now + job.requested_walltime;
+    ends_insert(expected_end, id, nodes->size());
+    running_.emplace(id, Running{*nodes, expected_end});
     ++started_total_;
     starts.push_back({std::move(job), std::move(*nodes)});
   }
@@ -132,6 +164,7 @@ void Scheduler::finish(JobId id, SimTime /*now*/) {
   require_state(it != running_.end(),
                 "Scheduler::finish: job not running: " + std::to_string(id));
   allocator_.release(it->second.nodes);
+  ends_erase(it->second.expected_end, id);
   running_.erase(it);
   ++finished_total_;
 }
@@ -141,6 +174,10 @@ void Scheduler::set_expected_end(JobId id, SimTime end) {
   require_state(it != running_.end(),
                 "Scheduler::set_expected_end: job not running: " +
                     std::to_string(id));
+  if (it->second.expected_end != end) {
+    ends_erase(it->second.expected_end, id);
+    ends_insert(end, id, it->second.nodes.size());
+  }
   it->second.expected_end = end;
 }
 

@@ -102,6 +102,7 @@ class Scheduler {
   [[nodiscard]] std::uint64_t finished_total() const {
     return finished_total_;
   }
+  [[nodiscard]] std::uint64_t passes_total() const { return passes_total_; }
 
   /// Priority score of a job at `now` under the configured weights
   /// (exposed for tests and tooling; meaningful under kPriority).
@@ -114,6 +115,18 @@ class Scheduler {
     std::vector<NodeId> nodes;
     SimTime expected_end;
   };
+
+  /// One running job in the expected-end-sorted shadow buffer.
+  struct EndEntry {
+    SimTime end;
+    JobId id;
+    std::size_t nodes;
+  };
+  /// Maintain the sorted end-time buffer across passes: O(log n) locate +
+  /// contiguous shift per start/finish/retime, instead of rebuilding and
+  /// sorting the whole buffer on every scheduling pass.
+  void ends_insert(SimTime end, JobId id, std::size_t nodes);
+  void ends_erase(SimTime end, JobId id);
 
   /// Earliest time at which `count` nodes will be free, assuming running
   /// jobs end at their expected ends; also reports how many nodes are free
@@ -128,8 +141,15 @@ class Scheduler {
   NodeAllocator allocator_;
   std::deque<JobSpec> queue_;
   std::unordered_map<JobId, Running> running_;
+  /// Running jobs sorted by (expected end, id) — the backfill shadow
+  /// sweeps a prefix of this instead of re-sorting per pass.
+  std::vector<EndEntry> ends_;
+  /// order_queue scratch (priority keys + permutation), reused per pass.
+  std::vector<double> priority_keys_;
+  std::vector<std::size_t> order_perm_;
   std::uint64_t started_total_ = 0;
   std::uint64_t finished_total_ = 0;
+  std::uint64_t passes_total_ = 0;
 };
 
 }  // namespace hpcem

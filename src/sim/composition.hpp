@@ -87,6 +87,16 @@ class PowerSource {
   /// multiplicative noise (sub-meters derived from the cabinet meter do;
   /// independently modelled plant does not).
   [[nodiscard]] virtual bool noisy() const { return false; }
+
+  /// True if `power` depends only on the machine-state fields of the
+  /// snapshot (busy nodes, utilisation, accumulated power) and never on
+  /// `SimSnapshot::now` or hidden mutable state.  When every composed
+  /// source is time-invariant the simulator may reuse the previous
+  /// sample's powers across quiescent intervals — stretches with no job
+  /// start/finish or submit between samples (DESIGN.md §9).  Sources
+  /// with their own dynamics (e.g. weather-driven cooling) must return
+  /// false, which disables the skip for the whole composition.
+  [[nodiscard]] virtual bool time_invariant() const { return false; }
 };
 
 /// Observer invoked at every sampling instant after the power sources.
@@ -124,6 +134,7 @@ class NodeFleetSource final : public PowerSource {
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
   [[nodiscard]] bool noisy() const override { return true; }
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   NodePowerParams params_;
@@ -137,6 +148,7 @@ class SwitchFabricSource final : public PowerSource {
 
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   SwitchPowerModel model_;
@@ -151,6 +163,7 @@ class CabinetOverheadSource final : public PowerSource {
 
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   CabinetOverheadModel model_;
@@ -168,6 +181,7 @@ class CduSource final : public PowerSource {
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
   [[nodiscard]] bool metered() const override { return false; }
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   CduPowerModel model_;
@@ -182,6 +196,7 @@ class FilesystemSource final : public PowerSource {
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
   [[nodiscard]] bool metered() const override { return false; }
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   FilesystemPowerModel model_;
@@ -198,6 +213,7 @@ class CoolingOverheadSource final : public PowerSource {
   [[nodiscard]] const std::string& channel() const override;
   [[nodiscard]] Power power(const SimSnapshot& s) const override;
   [[nodiscard]] bool metered() const override { return false; }
+  [[nodiscard]] bool time_invariant() const override { return true; }
 
  private:
   CoolingModel model_;

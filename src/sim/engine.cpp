@@ -4,39 +4,90 @@
 
 namespace hpcem {
 
-void SimEngine::schedule(SimTime when, std::function<void()> fn) {
+void SimEngine::push(SimTime when, std::uint64_t key, SimEventKind kind,
+                     std::uint64_t payload) {
   require(when >= now_, "SimEngine::schedule: cannot schedule in the past");
-  require(static_cast<bool>(fn), "SimEngine::schedule: empty callback");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.push(QueuedEvent{when, key, kind, payload});
 }
 
-void SimEngine::schedule_after(Duration delay, std::function<void()> fn) {
-  require(delay.sec() >= 0.0, "SimEngine::schedule_after: negative delay");
-  schedule(now_ + delay, std::move(fn));
+void SimEngine::schedule_static(SimTime when, SimEventKind kind,
+                                std::uint64_t payload) {
+  push(when, (kStaticBand << kBandShift) | next_static_++, kind, payload);
 }
 
-void SimEngine::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
-    // Move the event out before popping so the handler can push safely.
-    Event ev = queue_.top();
-    queue_.pop();
-    HPCEM_ASSERT(ev.time >= now_, "event queue time order");
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();
+void SimEngine::schedule(SimTime when, SimEventKind kind,
+                         std::uint64_t payload) {
+  push(when, (kRuntimeBand << kBandShift) | next_runtime_++, kind, payload);
+}
+
+void SimEngine::set_workload_stream(SimTime start, Duration period,
+                                    SimTime end) {
+  require(period.sec() > 0.0,
+          "SimEngine::set_workload_stream: period must be positive");
+  workload_ = Stream{start < end, start, period, end};
+}
+
+void SimEngine::set_sample_stream(SimTime start, Duration period,
+                                  SimTime end) {
+  require(period.sec() > 0.0,
+          "SimEngine::set_sample_stream: period must be positive");
+  sample_ = Stream{start < end, start, period, end};
+}
+
+bool SimEngine::next(SimTime until, SimEvent& out) {
+  // Best of three candidates: heap top, workload tick, sample tick —
+  // minimum (time, band-key).  Stream candidates carry a bare band key:
+  // a train never has two ticks at one instant, so the counter half is
+  // irrelevant.
+  bool found = false;
+  SimTime best_time{};
+  std::uint64_t best_key = 0;
+  int best = -1;  // 0 = heap, 1 = workload, 2 = sample
+
+  if (!queue_.empty()) {
+    const QueuedEvent& top = queue_.top();
+    found = true;
+    best_time = top.time;
+    best_key = top.key;
+    best = 0;
   }
-  if (until > now_) now_ = until;
+  const auto consider = [&](const Stream& s, std::uint64_t band, int which) {
+    if (!s.active) return;
+    const std::uint64_t key = band << kBandShift;
+    if (!found || s.next_tick < best_time ||
+        (s.next_tick == best_time && key < best_key)) {
+      found = true;
+      best_time = s.next_tick;
+      best_key = key;
+      best = which;
+    }
+  };
+  consider(workload_, kWorkloadBand, 1);
+  consider(sample_, kSampleBand, 2);
+
+  if (!found || best_time > until) return false;
+
+  if (best == 0) {
+    const QueuedEvent& top = queue_.top();
+    out = SimEvent{top.time, top.kind, top.payload};
+    queue_.pop();
+  } else {
+    Stream& s = best == 1 ? workload_ : sample_;
+    out = SimEvent{s.next_tick,
+                   best == 1 ? SimEventKind::kWorkloadHour
+                             : SimEventKind::kSample,
+                   0};
+    s.next_tick = s.next_tick + s.period;
+    if (!(s.next_tick < s.end)) s.active = false;
+  }
+  HPCEM_ASSERT(out.time >= now_, "event queue time order");
+  now_ = out.time;
+  ++processed_;
+  return true;
 }
 
-void SimEngine::run_all() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    HPCEM_ASSERT(ev.time >= now_, "event queue time order");
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();
-  }
+void SimEngine::advance_to(SimTime t) {
+  if (t > now_) now_ = t;
 }
 
 }  // namespace hpcem

@@ -1,12 +1,26 @@
 // Discrete-event simulation engine.
 //
-// A minimal, deterministic event loop: events carry a timestamp and a
-// callback; ties are broken by insertion order so runs are reproducible.
-// Handlers may schedule further events (at or after the current time).
+// A deterministic event loop over *typed* events: each event is a small
+// POD (timestamp, kind tag, integer payload) the caller dispatches on —
+// no per-event heap allocation or type erasure on the hot path.  Periodic
+// tick trains (telemetry samples, workload-generation hours) are not
+// pre-scheduled event-by-event; they are lazy streams that materialise
+// the next tick on demand, so a year-long campaign does not build a
+// multi-million-entry calendar up front.
+//
+// Determinism: ties at equal timestamps are broken by a total order that
+// reproduces the observable order of the original closure calendar,
+// where pre-run scheduling handed out global sequence numbers first and
+// runtime scheduling later.  At one instant the order is
+//
+//   static events (pre-run, FIFO)  <  workload tick  <  sample tick
+//     <  runtime events (scheduled during the run, FIFO)
+//
+// encoded as a (band, counter) key — see `SimEngine::schedule` /
+// `schedule_static` and DESIGN.md §9.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
@@ -14,43 +28,100 @@
 
 namespace hpcem {
 
-/// Deterministic discrete-event engine.
+/// Event vocabulary of the facility simulation.  The engine never
+/// interprets the tag or payload; the caller's dispatch switch does.
+enum class SimEventKind : std::uint8_t {
+  kPolicyChange,      ///< payload: index into the caller's armed-policy list
+  kMaintenanceBegin,  ///< payload unused
+  kMaintenanceEnd,    ///< payload unused
+  kSubmit,            ///< payload: caller's job-slot index
+  kWorkloadHour,      ///< lazy periodic tick (no payload)
+  kSample,            ///< lazy periodic tick (no payload)
+  kFinish,            ///< payload: JobId
+};
+
+/// One due event, as handed to the caller by `next`.
+struct SimEvent {
+  SimTime time{};
+  SimEventKind kind = SimEventKind::kSample;
+  std::uint64_t payload = 0;
+};
+
+/// Deterministic discrete-event engine (see file comment for ordering).
 class SimEngine {
  public:
   explicit SimEngine(SimTime start = SimTime{0.0}) : now_(start) {}
 
   [[nodiscard]] SimTime now() const { return now_; }
+  /// Heap-resident events (lazy stream ticks are not counted).
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
-  /// Schedule a callback; `when` must not be in the past.
-  void schedule(SimTime when, std::function<void()> fn);
-  void schedule_after(Duration delay, std::function<void()> fn);
+  /// Schedule a pre-run event; same-time statics pop in call order, ahead
+  /// of every tick and runtime event at that instant.  `when` must not be
+  /// in the past.
+  void schedule_static(SimTime when, SimEventKind kind,
+                       std::uint64_t payload = 0);
 
-  /// Process events with time <= `until`, advancing the clock; events
-  /// scheduled during processing are honoured if they fall in the window.
-  void run_until(SimTime until);
+  /// Schedule a runtime event (job finish, generated submit); same-time
+  /// runtime events pop in call order, after every static and tick at
+  /// that instant.  `when` must not be in the past.
+  void schedule(SimTime when, SimEventKind kind, std::uint64_t payload = 0);
 
-  /// Process every remaining event.
-  void run_all();
+  /// Arm the lazy workload-hour tick train: kWorkloadHour at `start`,
+  /// then every `period`, strictly before `end`.
+  void set_workload_stream(SimTime start, Duration period, SimTime end);
+
+  /// Arm the lazy telemetry-sample tick train: kSample at `start`, then
+  /// every `period`, strictly before `end`.
+  void set_sample_stream(SimTime start, Duration period, SimTime end);
+
+  /// Pop the earliest due event with time <= `until` into `out`,
+  /// advancing the clock to it.  Returns false (clock untouched) when
+  /// nothing is due in the window.
+  [[nodiscard]] bool next(SimTime until, SimEvent& out);
+
+  /// Advance the clock to `t` if it is ahead (end of a drained window).
+  void advance_to(SimTime t);
 
  private:
-  struct Event {
+  // Tie-break bands at equal timestamps (see file comment).
+  static constexpr std::uint64_t kBandShift = 56;
+  static constexpr std::uint64_t kStaticBand = 0;
+  static constexpr std::uint64_t kWorkloadBand = 1;
+  static constexpr std::uint64_t kSampleBand = 2;
+  static constexpr std::uint64_t kRuntimeBand = 3;
+
+  struct QueuedEvent {
     SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint64_t key;  ///< (band << kBandShift) | counter
+    SimEventKind kind;
+    std::uint64_t payload;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       if (a.time != b.time) return b.time < a.time;
-      return b.seq < a.seq;  // FIFO among simultaneous events
+      return b.key < a.key;
     }
   };
+  /// A lazy periodic tick train.
+  struct Stream {
+    bool active = false;
+    SimTime next_tick{};
+    Duration period{};
+    SimTime end{};
+  };
+
+  void push(SimTime when, std::uint64_t key, SimEventKind kind,
+            std::uint64_t payload);
 
   SimTime now_;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_static_ = 0;
+  std::uint64_t next_runtime_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Stream workload_;
+  Stream sample_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
 };
 
 }  // namespace hpcem

@@ -55,7 +55,8 @@ FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
     : catalog_(&catalog),
       config_(config),
       composition_(std::move(composition)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      policy_cache_(catalog) {
   require(config_.sample_interval.sec() > 0.0,
           "FacilitySimulator: sample interval must be positive");
   require(config_.metering_noise_sigma >= 0.0,
@@ -79,6 +80,9 @@ FacilitySimulator::FacilitySimulator(const AppCatalog& catalog,
   for (const auto& probe : composition_.probes) {
     probe->declare_channels(recorder_);
   }
+  sources_time_invariant_ =
+      std::all_of(composition_.sources.begin(), composition_.sources.end(),
+                  [](const auto& s) { return s->time_invariant(); });
 }
 
 void FacilitySimulator::schedule_policy_change(SimTime when,
@@ -105,6 +109,7 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
   HPCEM_OBS_SPAN("sim.run");
 
   engine_ = SimEngine(start);
+  run_end_ = end;
 
   // Arm the recorded policy changes.  A change scheduled before the window
   // must not be dropped silently: the service is already running the armed
@@ -121,21 +126,21 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
         latest_pre_window = &change;
       }
     } else if (when < end) {
-      engine_.schedule(when, [this, p = change.second] { policy_ = p; });
+      armed_policies_.push_back(change.second);
+      engine_.schedule_static(when, SimEventKind::kPolicyChange,
+                              armed_policies_.size() - 1);
     }
   }
   if (latest_pre_window != nullptr) policy_ = latest_pre_window->second;
+  policy_cache_.set_policy(policy_);
 
   // Arm maintenance reservations.
   for (const auto& [from, until] : maintenance_) {
     if (from >= start && from < end) {
-      engine_.schedule(from, [this] { starts_blocked_ = true; });
+      engine_.schedule_static(from, SimEventKind::kMaintenanceBegin);
     }
     if (until >= start && until < end) {
-      engine_.schedule(until, [this] {
-        starts_blocked_ = false;
-        start_ready_jobs();  // release the accumulated queue
-      });
+      engine_.schedule_static(until, SimEventKind::kMaintenanceEnd);
     }
   }
 
@@ -146,43 +151,90 @@ void FacilitySimulator::run_impl(std::vector<JobSpec> trace, bool use_trace,
               "run_trace: unknown application in trace: " + job.app);
       if (job.submit_time < start || job.submit_time >= end) continue;
       const SimTime at = job.submit_time;
-      engine_.schedule(at, [this, j = std::move(job)]() mutable {
-        on_submit(std::move(j));
-      });
+      engine_.schedule_static(at, SimEventKind::kSubmit,
+                              park_job(std::move(job)));
     }
   } else {
-    // Hourly on-the-fly workload generation.  The arrival rate is divided
-    // by the mix-average slowdown of the *current* policy: allocations are
-    // charged in node-hours, so budget-capped users offer a constant
-    // node-hour stream no matter how fast individual jobs run.
+    // Hourly on-the-fly workload generation, as a lazy tick train.  The
+    // arrival rate is divided by the mix-average slowdown of the *current*
+    // policy: allocations are charged in node-hours, so budget-capped
+    // users offer a constant node-hour stream no matter how fast
+    // individual jobs run.
     generator_ = std::make_unique<WorkloadGenerator>(
         *catalog_, config_.inventory.compute_nodes, config_.gen,
         rng_.split());
-    for (SimTime t = start; t < end; t += Duration::hours(1.0)) {
-      engine_.schedule(t, [this, t, end] {
-        HPCEM_OBS_SPAN("sim.workload.generate");
-        for (auto& job : generator_->generate_hour(t, demand_scale())) {
-          if (job.submit_time >= end) continue;
-          const SimTime at = job.submit_time;
-          engine_.schedule(at, [this, j = std::move(job)]() mutable {
-            on_submit(std::move(j));
-          });
-        }
-      });
-    }
+    engine_.set_workload_stream(start, Duration::hours(1.0), end);
   }
 
-  // Telemetry sampling on a fixed cadence.
-  for (SimTime t = start; t < end; t += config_.sample_interval) {
-    engine_.schedule(t, [this] { sample(); });
-  }
+  // Telemetry sampling on a fixed cadence, as a lazy tick train.
+  engine_.set_sample_stream(start, config_.sample_interval, end);
 
-  engine_.run_until(end);
+  {
+    HPCEM_OBS_SPAN("sim.step");
+    SimEvent ev;
+    while (engine_.next(end, ev)) dispatch(ev);
+  }
+  engine_.advance_to(end);
 
   // Ingest is counted in bulk here, a quiescent point that precedes every
   // export — the per-sample guard a push counter would need measurably
   // slows Recorder::record even when collection is off.
   if (obs::enabled()) detail::note_recorder_ingest(recorder_.total_appended());
+}
+
+void FacilitySimulator::dispatch(const SimEvent& ev) {
+  switch (ev.kind) {
+    case SimEventKind::kPolicyChange:
+      policy_ = armed_policies_[ev.payload];
+      policy_cache_.set_policy(policy_);
+      power_dirty_ = true;
+      break;
+    case SimEventKind::kMaintenanceBegin:
+      starts_blocked_ = true;
+      break;
+    case SimEventKind::kMaintenanceEnd:
+      starts_blocked_ = false;
+      start_ready_jobs();  // release the accumulated queue
+      break;
+    case SimEventKind::kSubmit:
+      on_submit(take_job(ev.payload));
+      break;
+    case SimEventKind::kWorkloadHour:
+      generate_hour(ev.time);
+      break;
+    case SimEventKind::kSample:
+      sample();
+      break;
+    case SimEventKind::kFinish:
+      on_finish(ev.payload);
+      break;
+  }
+}
+
+void FacilitySimulator::generate_hour(SimTime t) {
+  HPCEM_OBS_SPAN("sim.workload.generate");
+  for (auto& job : generator_->generate_hour(t, demand_scale())) {
+    if (job.submit_time >= run_end_) continue;
+    const SimTime at = job.submit_time;
+    engine_.schedule(at, SimEventKind::kSubmit, park_job(std::move(job)));
+  }
+}
+
+std::uint64_t FacilitySimulator::park_job(JobSpec job) {
+  if (free_job_slots_.empty()) {
+    job_slots_.push_back(std::move(job));
+    return job_slots_.size() - 1;
+  }
+  const std::uint64_t slot = free_job_slots_.back();
+  free_job_slots_.pop_back();
+  job_slots_[slot] = std::move(job);
+  return slot;
+}
+
+JobSpec FacilitySimulator::take_job(std::uint64_t slot) {
+  JobSpec job = std::move(job_slots_[slot]);
+  free_job_slots_.push_back(slot);
+  return job;
 }
 
 void FacilitySimulator::schedule_maintenance(SimTime block_from,
@@ -195,18 +247,13 @@ void FacilitySimulator::schedule_maintenance(SimTime block_from,
 
 double FacilitySimulator::demand_scale() const {
   // Mix-average runtime stretch under the active policy, relative to the
-  // reference conditions the generator's runtimes are expressed in.
-  const double mean_factor =
-      catalog_->mix_average([&](const ApplicationModel& app) {
-        JobSpec probe;
-        const PState ps = policy_.resolve_pstate(app, probe);
-        return app.time_factor(policy_.bios_mode, ps);
-      });
-  HPCEM_ASSERT(mean_factor > 0.0, "mean time factor must be positive");
-  return 1.0 / mean_factor;
+  // reference conditions the generator's runtimes are expressed in —
+  // served from the policy-epoch cache (same accumulation bit-for-bit).
+  return policy_cache_.demand_scale();
 }
 
 void FacilitySimulator::on_submit(JobSpec job) {
+  power_dirty_ = true;  // queue length is part of the sampled state
   scheduler_->submit(std::move(job));
   start_ready_jobs();
 }
@@ -217,32 +264,37 @@ void FacilitySimulator::start_ready_jobs() {
   const SimTime now = engine_.now();
   for (auto& start : scheduler_->schedule_pass(now)) {
     jobs_started_counter().add();
-    const ApplicationModel& app = catalog_->at(start.job.app);
-    const PState pstate = policy_.resolve_pstate(app, start.job);
-    const DeterminismMode mode = policy_.bios_mode;
-
-    const Duration runtime =
-        app.runtime(start.job.ref_runtime, mode, pstate);
-    const Power per_node =
-        app.node_draw(mode, pstate, start.job.silicon_factor);
+    power_dirty_ = true;
+    // Per-start policy math comes from the policy-epoch cache: the same
+    // guards and the same floating-point expressions as the uncached
+    // ApplicationModel calls, evaluated once per policy change.
+    const std::size_t app_index = catalog_->index(start.job.app);
+    require(start.job.ref_runtime.sec() > 0.0,
+            "ApplicationModel::runtime: reference runtime must be positive");
+    const PolicyFactorCache::JobFactors& f =
+        policy_cache_.factors(app_index, start.job);
+    const Duration runtime = start.job.ref_runtime * f.time_factor;
+    require(start.job.silicon_factor >= 0.0,
+            "node_power: silicon_factor must be non-negative");
+    const double per_node_w = f.draw.watts(start.job.silicon_factor);
     const double fleet_w =
-        per_node.w() * static_cast<double>(start.job.nodes);
+        per_node_w * static_cast<double>(start.job.nodes);
 
     const JobId id = start.job.id;
     RunningJob rj;
     rj.record.spec = std::move(start.job);
     rj.record.start_time = now;
     rj.record.end_time = now + runtime;
-    rj.record.pstate = pstate;
-    rj.record.mode = mode;
-    rj.record.node_power_w = per_node.w();
+    rj.record.pstate = f.pstate;
+    rj.record.mode = policy_.bios_mode;
+    rj.record.node_power_w = per_node_w;
     rj.record.node_energy =
         Power::watts(fleet_w) * runtime;
     rj.fleet_power_w = fleet_w;
 
     busy_node_power_w_.add(fleet_w);
     scheduler_->set_expected_end(id, rj.record.end_time);
-    engine_.schedule(rj.record.end_time, [this, id] { on_finish(id); });
+    engine_.schedule(rj.record.end_time, SimEventKind::kFinish, id);
     running_.emplace(id, std::move(rj));
   }
 }
@@ -250,6 +302,7 @@ void FacilitySimulator::start_ready_jobs() {
 void FacilitySimulator::on_finish(JobId id) {
   auto it = running_.find(id);
   HPCEM_ASSERT(it != running_.end(), "finish event for unknown job");
+  power_dirty_ = true;
   busy_node_power_w_.subtract(it->second.fleet_power_w);
   // Compensated summation keeps the residual at a rounding of the peak
   // magnitude, so anything visibly negative is an accounting bug.
@@ -277,15 +330,22 @@ SimSnapshot FacilitySimulator::snapshot() const {
 void FacilitySimulator::sample() {
   samples_counter().add();
   SimSnapshot s = snapshot();
-  const double noise =
-      1.0 + rng_.normal(0.0, config_.metering_noise_sigma);
+  // With no metering noise configured the draw is skipped entirely (the
+  // factor is exactly 1.0 either way, and sample() is the only rng_
+  // consumer during the run, so the stream is unperturbed).
+  const double sigma = config_.metering_noise_sigma;
+  const double noise = sigma == 0.0 ? 1.0 : 1.0 + rng_.normal(0.0, sigma);
 
   // Evaluate the sources in order, accumulating the boundary totals the
-  // later sources (and the cabinet meter) see.
-  double metered_w = 0.0;
-  double total_w = 0.0;
-  {
+  // later sources (and the cabinet meter) see.  Quiescent skip: if no
+  // submit/start/finish/policy change happened since the previous sample
+  // and every source is time-invariant, the snapshot the sources consume
+  // is unchanged, so the previous evaluation is reused verbatim.
+  if (power_dirty_ || !sources_time_invariant_) {
     HPCEM_OBS_SPAN("sim.sample.power");
+    double metered_w = 0.0;
+    double total_w = 0.0;
+    source_power_kw_.resize(composition_.sources.size());
     for (std::size_t i = 0; i < composition_.sources.size(); ++i) {
       const auto& source = composition_.sources[i];
       s.metered_power_so_far_w = metered_w;
@@ -293,16 +353,25 @@ void FacilitySimulator::sample() {
       const Power p = source->power(s);
       if (source->metered()) metered_w += p.w();
       total_w += p.w();
-      recorder_.record(source_channels_[i], s.now,
-                       p.kw() * (source->noisy() ? noise : 1.0));
+      source_power_kw_[i] = p.kw();
     }
+    cached_metered_w_ = metered_w;
+    cached_total_w_ = total_w;
+    power_dirty_ = false;
+  }
+  for (std::size_t i = 0; i < composition_.sources.size(); ++i) {
+    recorder_.record(
+        source_channels_[i], s.now,
+        source_power_kw_[i] *
+            (composition_.sources[i]->noisy() ? noise : 1.0));
   }
 
   HPCEM_OBS_SPAN("sim.sample.telemetry");
-  recorder_.record(cabinet_channel_, s.now, metered_w / 1000.0 * noise);
+  recorder_.record(cabinet_channel_, s.now,
+                   cached_metered_w_ / 1000.0 * noise);
 
-  s.metered_power_so_far_w = metered_w;
-  s.total_power_so_far_w = total_w;
+  s.metered_power_so_far_w = cached_metered_w_;
+  s.total_power_so_far_w = cached_total_w_;
   for (const auto& probe : composition_.probes) {
     probe->on_sample(s, recorder_);
   }

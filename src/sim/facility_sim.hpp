@@ -29,6 +29,7 @@
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 #include "workload/policy.hpp"
+#include "workload/policy_cache.hpp"
 
 namespace hpcem {
 
@@ -122,10 +123,17 @@ class FacilitySimulator {
     double fleet_power_w;   ///< nodes x per-node draw
   };
 
+  void dispatch(const SimEvent& ev);
   void on_submit(JobSpec job);
   void on_finish(JobId id);
   void start_ready_jobs();
+  void generate_hour(SimTime t);
   void sample();
+
+  /// Park a job payload for a queued submit event; returns its slot.
+  [[nodiscard]] std::uint64_t park_job(JobSpec job);
+  /// Reclaim a parked job payload.
+  [[nodiscard]] JobSpec take_job(std::uint64_t slot);
 
   /// Machine state at the current instant (power accumulators zeroed).
   [[nodiscard]] SimSnapshot snapshot() const;
@@ -160,6 +168,29 @@ class FacilitySimulator {
   /// accumulates hundreds of thousands of add/subtract pairs.
   CompensatedSum busy_node_power_w_;
   bool ran_ = false;
+
+  /// Per-(app, policy) factor cache, rebuilt at each policy epoch.
+  PolicyFactorCache policy_cache_;
+  /// Policies armed for in-window change events (kPolicyChange payload
+  /// indexes this).
+  std::vector<OperatingPolicy> armed_policies_;
+  /// Parked JobSpec payloads for queued submit events (kSubmit payload
+  /// indexes this); freed slots are recycled, so the pool is bounded by
+  /// the peak number of in-flight submits.
+  std::vector<JobSpec> job_slots_;
+  std::vector<std::uint64_t> free_job_slots_;
+  SimTime run_end_{};
+  /// All composed sources time-invariant => quiescent samples may reuse
+  /// the previous power evaluation (see PowerSource::time_invariant).
+  bool sources_time_invariant_ = false;
+  /// Set by anything that can change the sampled machine state (submit,
+  /// start, finish, policy change); cleared when sample() re-evaluates.
+  bool power_dirty_ = true;
+  /// Cached per-source powers (kW) and boundary totals (W) of the last
+  /// evaluated sample.
+  std::vector<double> source_power_kw_;
+  double cached_metered_w_ = 0.0;
+  double cached_total_w_ = 0.0;
 };
 
 }  // namespace hpcem

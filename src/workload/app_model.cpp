@@ -90,6 +90,17 @@ Power ApplicationModel::node_draw(DeterminismMode mode, const PState& pstate,
   return node_power(node_params_, profile_, act);
 }
 
+NodePowerTerms ApplicationModel::node_draw_terms(DeterminismMode mode,
+                                                 const PState& pstate) const {
+  NodeActivity act;
+  act.load = 1.0;
+  act.pstate = pstate;
+  act.mode = mode;
+  act.app_boost = spec_.boost;
+  act.power_det_uplift = spec_.power_det_uplift;
+  return node_power_terms(node_params_, profile_, act);
+}
+
 Energy ApplicationModel::job_energy(std::size_t nodes, Duration ref_runtime,
                                     DeterminismMode mode,
                                     const PState& pstate) const {

@@ -110,6 +110,14 @@ class ApplicationModel {
   [[nodiscard]] Power node_draw(DeterminismMode mode, const PState& pstate,
                                 double silicon_factor = 1.0) const;
 
+  /// Silicon-independent power terms for this application at full node
+  /// load: `node_draw_terms(m, p).watts(s)` equals
+  /// `node_draw(m, p, s).w()` bit-for-bit, but the DVFS state is hoisted
+  /// so per-silicon evaluation is two multiply-adds (policy-epoch caches,
+  /// fleet batching).
+  [[nodiscard]] NodePowerTerms node_draw_terms(DeterminismMode mode,
+                                               const PState& pstate) const;
+
   /// Compute-node energy of a whole job (nodes x node power x runtime).
   [[nodiscard]] Energy job_energy(std::size_t nodes, Duration ref_runtime,
                                   DeterminismMode mode,

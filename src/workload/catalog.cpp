@@ -227,24 +227,32 @@ void AppCatalog::add(ApplicationSpec spec, const NodePowerParams& node_params,
           "AppCatalog::add: duplicate application name: " + spec.name);
   apps_.emplace_back(std::move(spec), node_params);
   refs_.push_back(std::move(references));
+  index_by_name_.emplace(apps_.back().name(), apps_.size() - 1);
 }
 
 bool AppCatalog::contains(const std::string& name) const {
-  return std::any_of(apps_.begin(), apps_.end(),
-                     [&](const ApplicationModel& a) {
-                       return a.name() == name;
-                     });
+  return index_by_name_.count(name) > 0;
 }
 
 std::size_t AppCatalog::index_of(const std::string& name) const {
-  for (std::size_t i = 0; i < apps_.size(); ++i) {
-    if (apps_[i].name() == name) return i;
+  const auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) {
+    throw InvalidArgument("AppCatalog: no such application: " + name);
   }
-  throw InvalidArgument("AppCatalog: no such application: " + name);
+  return it->second;
 }
 
 const ApplicationModel& AppCatalog::at(const std::string& name) const {
   return apps_[index_of(name)];
+}
+
+std::size_t AppCatalog::index(const std::string& name) const {
+  return index_of(name);
+}
+
+const ApplicationModel& AppCatalog::at_index(std::size_t index) const {
+  require(index < apps_.size(), "AppCatalog::at_index: index out of range");
+  return apps_[index];
 }
 
 std::span<const PaperReference> AppCatalog::references(

@@ -21,6 +21,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "workload/app_model.hpp"
@@ -55,6 +56,15 @@ class AppCatalog {
   /// Lookup by name; throws InvalidArgument if absent.
   [[nodiscard]] const ApplicationModel& at(const std::string& name) const;
 
+  /// Stable insertion index of an entry (O(1) hash lookup); throws
+  /// InvalidArgument if absent.  Lets hot paths key flat per-app caches by
+  /// index instead of repeating string lookups.
+  [[nodiscard]] std::size_t index(const std::string& name) const;
+
+  /// Entry by stable insertion index; throws InvalidArgument if out of
+  /// range.
+  [[nodiscard]] const ApplicationModel& at_index(std::size_t index) const;
+
   /// All paper references attached to an entry (empty for production apps).
   [[nodiscard]] std::span<const PaperReference> references(
       const std::string& name) const;
@@ -85,6 +95,7 @@ class AppCatalog {
 
   std::vector<ApplicationModel> apps_;
   std::vector<std::vector<PaperReference>> refs_;
+  std::unordered_map<std::string, std::size_t> index_by_name_;
 };
 
 }  // namespace hpcem

@@ -99,6 +99,29 @@ TEST_F(ObsExportTest, MetricsJsonRoundTrips) {
   EXPECT_THROW((void)metrics_from_json(JsonValue::object()), ParseError);
 }
 
+TEST_F(ObsExportTest, TraceEmbedsMetricsSnapshot) {
+  const Counter c("obs.export.embed_counter", "ops");
+  c.add(3);
+  record_nested_spans();
+  const MetricsSnapshot metrics = metrics_snapshot();
+  const JsonValue doc = trace_json(trace_snapshot(), &metrics);
+  const JsonValue* m = doc.get("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->at("schema").as_string(), "hpcem.obs_metrics");
+  const MetricsSnapshot back = metrics_from_json(*m);
+  bool found = false;
+  for (const auto& cv : back.counters) {
+    if (cv.name == "obs.export.embed_counter") {
+      found = true;
+      EXPECT_EQ(cv.value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Without a snapshot the member is simply absent (a v1-shaped document
+  // modulo the version number).
+  EXPECT_EQ(trace_json(trace_snapshot()).get("metrics"), nullptr);
+}
+
 TEST_F(ObsExportTest, ProfileComputesSelfAndInclusive) {
   record_nested_spans();
   record_nested_spans();

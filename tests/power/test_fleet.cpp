@@ -106,6 +106,32 @@ TEST(Fleet, ValidationErrors) {
   EXPECT_THROW(fleet.silicon_factor(999999), InvalidArgument);
 }
 
+TEST(Fleet, BatchedPowersMatchScalarNodePowerExactly) {
+  // The SoA fast path must be a pure hoist: powers_into against the
+  // silicon column reproduces a per-node node_power() loop bit-for-bit.
+  const NodePowerParams np;
+  const auto profile = default_profile(np);
+  FleetParams p;
+  p.node_count = 257;
+  const NodeFleet fleet(p, 29);
+  const NodeActivity act = loaded(DeterminismMode::kPowerDeterminism);
+
+  const NodePowerTerms terms = node_power_terms(np, profile, act);
+  std::vector<double> batched(fleet.size());
+  fleet.state().powers_into(terms, batched);
+
+  double manual_total = 0.0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    NodeActivity per_node = act;
+    per_node.silicon_factor = fleet.silicon_factor(i);
+    const double scalar = node_power(np, profile, per_node).w();
+    ASSERT_EQ(batched[i], scalar) << "node " << i;
+    manual_total += scalar;
+  }
+  EXPECT_EQ(fleet.state().total_power_w(terms), manual_total);
+  EXPECT_EQ(fleet.total_power(np, profile, act).w(), manual_total);
+}
+
 TEST(Fleet, ZeroSigmaFleetIsUniform) {
   FleetParams p;
   p.node_count = 100;

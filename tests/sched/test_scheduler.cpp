@@ -1,6 +1,10 @@
 // Tests for the FIFO + EASY backfill scheduler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "sched/scheduler.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -167,6 +171,57 @@ TEST(Scheduler, RandomChurnInvariants) {
     now += Duration::minutes(7.0);
   }
   EXPECT_EQ(s.started_total(), s.finished_total() + running.size());
+}
+
+// Regression pin on a recorded churn trace.  The backfill shadow buffer is
+// maintained incrementally across passes (sorted end-time vector, O(log n)
+// locate per start/finish/retime); this digest of the exact start sequence
+// was recorded from the per-pass rebuild-and-sort implementation, so any
+// divergence in ordering or backfill decisions fails here, not just in the
+// end-to-end figure goldens.
+TEST(Scheduler, RecordedChurnTraceReproducesStartSequence) {
+  SchedulerConfig cfg;
+  cfg.nodes = 1024;
+  Scheduler s(cfg);
+  Rng rng(99);
+  SimTime now(0.0);
+  JobId id = 1;
+  std::vector<std::pair<SimTime, JobId>> running;  // (realised end, id)
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&digest](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      digest ^= (v >> (8 * b)) & 0xffu;
+      digest *= 1099511628211ull;
+    }
+  };
+  const auto pass = [&] {
+    for (auto& st : s.schedule_pass(now)) {
+      mix(st.job.id);
+      // Realised runtimes undercut the estimate: backfill windows open.
+      const SimTime end =
+          now + st.job.requested_walltime * (0.3 + 0.6 * rng.uniform());
+      s.set_expected_end(st.job.id, end);
+      running.emplace_back(end, st.job.id);
+    }
+  };
+  for (int step = 0; step < 600; ++step) {
+    // Retire every job whose realised end passed, oldest end first.
+    std::sort(running.begin(), running.end());
+    while (!running.empty() && running.front().first <= now) {
+      s.finish(running.front().second, now);
+      running.erase(running.begin());
+      pass();
+    }
+    JobSpec j = job(id, static_cast<std::size_t>(rng.uniform_int(1, 96)),
+                    1.0 + 11.0 * rng.uniform(), now);
+    ++id;
+    s.submit(std::move(j));
+    pass();
+    now += Duration::minutes(7.0);
+  }
+  EXPECT_EQ(s.started_total(), 411u);
+  EXPECT_EQ(s.passes_total(), 985u);
+  EXPECT_EQ(digest, 9698893677361187067ull);
 }
 
 }  // namespace

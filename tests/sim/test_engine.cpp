@@ -1,6 +1,9 @@
-// Tests for the discrete-event engine.
+// Tests for the typed discrete-event engine, including the same-instant
+// tie-break contract the facility simulator's determinism rests on (see
+// sim/engine.hpp file comment and DESIGN.md §9).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -9,102 +12,210 @@
 namespace hpcem {
 namespace {
 
+const SimTime kFar{1e18};
+
+/// Drain every due event up to `until`, collecting them in pop order.
+std::vector<SimEvent> drain(SimEngine& e, SimTime until = kFar) {
+  std::vector<SimEvent> out;
+  SimEvent ev;
+  while (e.next(until, ev)) out.push_back(ev);
+  return out;
+}
+
 TEST(Engine, ProcessesEventsInTimeOrder) {
   SimEngine e;
-  std::vector<int> order;
-  e.schedule(SimTime(30.0), [&] { order.push_back(3); });
-  e.schedule(SimTime(10.0), [&] { order.push_back(1); });
-  e.schedule(SimTime(20.0), [&] { order.push_back(2); });
-  e.run_all();
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  e.schedule(SimTime(30.0), SimEventKind::kFinish, 3);
+  e.schedule(SimTime(10.0), SimEventKind::kFinish, 1);
+  e.schedule(SimTime(20.0), SimEventKind::kFinish, 2);
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].payload, 1u);
+  EXPECT_EQ(events[1].payload, 2u);
+  EXPECT_EQ(events[2].payload, 3u);
   EXPECT_EQ(e.processed(), 3u);
   EXPECT_DOUBLE_EQ(e.now().sec(), 30.0);
 }
 
-TEST(Engine, SimultaneousEventsRunFifo) {
+TEST(Engine, SimultaneousEventsRunFifoWithinBand) {
   SimEngine e;
-  std::vector<int> order;
-  for (int i = 0; i < 10; ++i) {
-    e.schedule(SimTime(5.0), [&order, i] { order.push_back(i); });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    e.schedule(SimTime(5.0), SimEventKind::kSubmit, i);
   }
-  e.run_all();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].payload, i);
+  }
 }
 
-TEST(Engine, HandlersCanScheduleMoreEvents) {
+TEST(Engine, SimultaneousStaticsRunFifoWithinBand) {
   SimEngine e;
-  int count = 0;
-  std::function<void()> tick = [&] {
-    ++count;
-    if (count < 5) {
-      e.schedule(e.now() + Duration::seconds(1.0), tick);
-    }
-  };
-  e.schedule(SimTime(0.0), tick);
-  e.run_all();
-  EXPECT_EQ(count, 5);
-  EXPECT_DOUBLE_EQ(e.now().sec(), 4.0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    e.schedule_static(SimTime(5.0), SimEventKind::kPolicyChange, i);
+  }
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].payload, i);
+  }
 }
 
-TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+// The contract the facility simulator's observable determinism rests on:
+// at one instant, pre-run statics (policy changes, maintenance, trace
+// submits — in scheduling order) precede the workload tick, which
+// precedes the sample tick, which precedes every runtime-scheduled event
+// (finishes, generated submits — in scheduling order).  This reproduces
+// the closure calendar's order, where pre-run scheduling handed out
+// global sequence numbers before any runtime handler ran.
+TEST(Engine, SameInstantOrderIsStaticsThenTicksThenRuntime) {
   SimEngine e;
-  int fired = 0;
-  e.schedule(SimTime(10.0), [&] { ++fired; });
-  e.schedule(SimTime(20.0), [&] { ++fired; });
-  e.schedule(SimTime(30.0), [&] { ++fired; });
-  e.run_until(SimTime(20.0));
-  EXPECT_EQ(fired, 2);
+  const SimTime t(100.0);
+  // Scheduled deliberately out of band order.
+  e.schedule(t, SimEventKind::kFinish, 70);          // runtime
+  e.schedule_static(t, SimEventKind::kPolicyChange, 10);
+  e.schedule(t, SimEventKind::kSubmit, 71);          // runtime
+  e.schedule_static(t, SimEventKind::kMaintenanceBegin, 11);
+  e.set_workload_stream(t, Duration::hours(1.0), SimTime(101.0));
+  e.set_sample_stream(t, Duration::hours(1.0), SimTime(101.0));
+  e.schedule_static(t, SimEventKind::kSubmit, 12);   // e.g. trace submit
+
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 7u);
+  // Statics first, in scheduling order.
+  EXPECT_EQ(events[0].kind, SimEventKind::kPolicyChange);
+  EXPECT_EQ(events[0].payload, 10u);
+  EXPECT_EQ(events[1].kind, SimEventKind::kMaintenanceBegin);
+  EXPECT_EQ(events[1].payload, 11u);
+  EXPECT_EQ(events[2].kind, SimEventKind::kSubmit);
+  EXPECT_EQ(events[2].payload, 12u);
+  // Then the periodic ticks: workload before sample.
+  EXPECT_EQ(events[3].kind, SimEventKind::kWorkloadHour);
+  EXPECT_EQ(events[4].kind, SimEventKind::kSample);
+  // Runtime events last, in scheduling order.
+  EXPECT_EQ(events[5].kind, SimEventKind::kFinish);
+  EXPECT_EQ(events[5].payload, 70u);
+  EXPECT_EQ(events[6].kind, SimEventKind::kSubmit);
+  EXPECT_EQ(events[6].payload, 71u);
+}
+
+// A finish landing exactly on a sample instant must run after the sample
+// (the closure calendar scheduled all samples pre-run), and a runtime
+// event scheduled *while processing* that instant still lands behind
+// pre-scheduled runtime events of the same instant.
+TEST(Engine, SampleTickPrecedesSameInstantFinish) {
+  SimEngine e;
+  e.set_sample_stream(SimTime(0.0), Duration::seconds(10.0), SimTime(25.0));
+  e.schedule(SimTime(10.0), SimEventKind::kFinish, 1);
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 4u);  // samples at 0, 10, 20 + finish at 10
+  EXPECT_EQ(events[0].kind, SimEventKind::kSample);
+  EXPECT_EQ(events[1].kind, SimEventKind::kSample);
+  EXPECT_DOUBLE_EQ(events[1].time.sec(), 10.0);
+  EXPECT_EQ(events[2].kind, SimEventKind::kFinish);
+  EXPECT_DOUBLE_EQ(events[2].time.sec(), 10.0);
+  EXPECT_EQ(events[3].kind, SimEventKind::kSample);
+  EXPECT_DOUBLE_EQ(events[3].time.sec(), 20.0);
+}
+
+TEST(Engine, StreamsGenerateTicksLazily) {
+  SimEngine e;
+  e.set_sample_stream(SimTime(0.0), Duration::seconds(1.0), SimTime(1e6));
+  // A million ticks are pending conceptually, but nothing is heap-resident.
+  EXPECT_EQ(e.pending(), 0u);
+  SimEvent ev;
+  ASSERT_TRUE(e.next(SimTime(2.5), ev));
+  EXPECT_DOUBLE_EQ(ev.time.sec(), 0.0);
+  ASSERT_TRUE(e.next(SimTime(2.5), ev));
+  EXPECT_DOUBLE_EQ(ev.time.sec(), 1.0);
+  ASSERT_TRUE(e.next(SimTime(2.5), ev));
+  EXPECT_DOUBLE_EQ(ev.time.sec(), 2.0);
+  EXPECT_FALSE(e.next(SimTime(2.5), ev));
+  EXPECT_DOUBLE_EQ(e.now().sec(), 2.0);
+}
+
+TEST(Engine, StreamEndIsExclusive) {
+  SimEngine e;
+  // Ticks strictly before end: 0, 10, 20 — not 30.
+  e.set_sample_stream(SimTime(0.0), Duration::seconds(10.0), SimTime(30.0));
+  const auto events = drain(e);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events.back().time.sec(), 20.0);
+}
+
+TEST(Engine, EmptyStreamWindowYieldsNothing) {
+  SimEngine e(SimTime(50.0));
+  e.set_sample_stream(SimTime(50.0), Duration::seconds(10.0), SimTime(50.0));
+  SimEvent ev;
+  EXPECT_FALSE(e.next(kFar, ev));
+}
+
+TEST(Engine, NextStopsAtBoundaryInclusive) {
+  SimEngine e;
+  e.schedule(SimTime(10.0), SimEventKind::kFinish, 1);
+  e.schedule(SimTime(20.0), SimEventKind::kFinish, 2);
+  e.schedule(SimTime(30.0), SimEventKind::kFinish, 3);
+  const auto in_window = drain(e, SimTime(20.0));
+  EXPECT_EQ(in_window.size(), 2u);  // 20.0 is inclusive
   EXPECT_EQ(e.pending(), 1u);
   EXPECT_DOUBLE_EQ(e.now().sec(), 20.0);
-  e.run_until(SimTime(100.0));
-  EXPECT_EQ(fired, 3);
-  // The clock advances to the window end even with no events there.
+  const auto rest = drain(e, SimTime(100.0));
+  EXPECT_EQ(rest.size(), 1u);
+  // The clock advances to the window end only on request.
+  e.advance_to(SimTime(100.0));
   EXPECT_DOUBLE_EQ(e.now().sec(), 100.0);
 }
 
 TEST(Engine, EventsScheduledDuringRunHonouredWithinWindow) {
   SimEngine e;
-  int fired = 0;
-  e.schedule(SimTime(5.0), [&] {
-    e.schedule(SimTime(8.0), [&] { ++fired; });
-    e.schedule(SimTime(50.0), [&] { ++fired; });
-  });
-  e.run_until(SimTime(10.0));
-  EXPECT_EQ(fired, 1);
+  e.schedule(SimTime(5.0), SimEventKind::kSubmit, 0);
+  SimEvent ev;
+  ASSERT_TRUE(e.next(SimTime(10.0), ev));
+  // A handler reacting to the submit schedules more events.
+  e.schedule(SimTime(8.0), SimEventKind::kFinish, 1);
+  e.schedule(SimTime(50.0), SimEventKind::kFinish, 2);
+  ASSERT_TRUE(e.next(SimTime(10.0), ev));
+  EXPECT_EQ(ev.payload, 1u);
+  EXPECT_FALSE(e.next(SimTime(10.0), ev));
   EXPECT_EQ(e.pending(), 1u);
 }
 
 TEST(Engine, SchedulingInThePastThrows) {
   SimEngine e(SimTime(100.0));
-  EXPECT_THROW(e.schedule(SimTime(50.0), [] {}), InvalidArgument);
-  EXPECT_NO_THROW(e.schedule(SimTime(100.0), [] {}));  // now is fine
-  EXPECT_THROW(e.schedule_after(Duration::seconds(-1.0), [] {}),
+  EXPECT_THROW(e.schedule(SimTime(50.0), SimEventKind::kFinish),
                InvalidArgument);
+  EXPECT_THROW(e.schedule_static(SimTime(50.0), SimEventKind::kSample),
+               InvalidArgument);
+  EXPECT_NO_THROW(e.schedule(SimTime(100.0), SimEventKind::kFinish));
 }
 
-TEST(Engine, EmptyCallbackRejected) {
+TEST(Engine, NonPositiveStreamPeriodRejected) {
   SimEngine e;
-  EXPECT_THROW(e.schedule(SimTime(1.0), std::function<void()>{}),
+  EXPECT_THROW(e.set_sample_stream(SimTime(0.0), Duration::seconds(0.0),
+                                   SimTime(10.0)),
+               InvalidArgument);
+  EXPECT_THROW(e.set_workload_stream(SimTime(0.0), Duration::seconds(-1.0),
+                                     SimTime(10.0)),
                InvalidArgument);
 }
 
-TEST(Engine, ScheduleAfterUsesCurrentTime) {
-  SimEngine e(SimTime(1000.0));
-  double fired_at = 0.0;
-  e.schedule_after(Duration::minutes(5.0), [&] { fired_at = e.now().sec(); });
-  e.run_all();
-  EXPECT_DOUBLE_EQ(fired_at, 1300.0);
+TEST(Engine, AdvanceToNeverRewinds) {
+  SimEngine e(SimTime(100.0));
+  e.advance_to(SimTime(50.0));
+  EXPECT_DOUBLE_EQ(e.now().sec(), 100.0);
+  e.advance_to(SimTime(150.0));
+  EXPECT_DOUBLE_EQ(e.now().sec(), 150.0);
 }
 
 TEST(Engine, LargeEventVolume) {
   SimEngine e;
-  std::uint64_t sum = 0;
   for (int i = 0; i < 100000; ++i) {
-    e.schedule(SimTime(static_cast<double>(i % 997)),
-               [&sum] { ++sum; });
+    e.schedule(SimTime(static_cast<double>(i % 997)), SimEventKind::kFinish,
+               static_cast<std::uint64_t>(i));
   }
-  e.run_all();
-  EXPECT_EQ(sum, 100000u);
+  std::uint64_t count = 0;
+  SimEvent ev;
+  while (e.next(kFar, ev)) ++count;
+  EXPECT_EQ(count, 100000u);
 }
 
 }  // namespace

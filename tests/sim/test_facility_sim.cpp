@@ -100,6 +100,43 @@ TEST_F(FacilitySimTest, CompletedJobsCarryConsistentRecords) {
   }
 }
 
+TEST_F(FacilitySimTest, ZeroNoiseSkipsTheDrawWithoutPerturbingTheRun) {
+  // With metering_noise_sigma == 0 the Gaussian draw is skipped entirely.
+  // That must be unobservable outside telemetry noise: sample() is the
+  // only consumer of the simulator's own rng during the run (the
+  // generator runs on a split stream), so the workload — every submit,
+  // start and finish — is identical whether or not the draw happens.
+  auto noiseless = small_config(21);
+  noiseless.metering_noise_sigma = 0.0;
+  auto noisy = small_config(21);
+  noisy.metering_noise_sigma = 0.006;
+  FacilitySimulator a(cat_, noiseless);
+  FacilitySimulator b(cat_, noisy);
+  a.run(start(), start() + Duration::days(5.0));
+  b.run(start(), start() + Duration::days(5.0));
+  ASSERT_EQ(a.completed().size(), b.completed().size());
+  for (std::size_t i = 0; i < a.completed().size(); ++i) {
+    const JobRecord& ra = a.completed()[i];
+    const JobRecord& rb = b.completed()[i];
+    ASSERT_EQ(ra.spec.id, rb.spec.id);
+    ASSERT_EQ(ra.start_time, rb.start_time);
+    ASSERT_EQ(ra.end_time, rb.end_time);
+    ASSERT_EQ(ra.node_power_w, rb.node_power_w);
+  }
+  // And the noiseless meter reads the exact source sum: the same sample
+  // instants, each a noise-free value (factor exactly 1.0).
+  const auto& ca = a.telemetry().channel(channels::kCabinetKw);
+  const auto& cb = b.telemetry().channel(channels::kCabinetKw);
+  ASSERT_EQ(ca.size(), cb.size());
+  bool any_noise_difference = false;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(ca[i].time, cb[i].time);
+    any_noise_difference =
+        any_noise_difference || ca[i].value != cb[i].value;
+  }
+  EXPECT_TRUE(any_noise_difference);
+}
+
 TEST_F(FacilitySimTest, PolicyChangeAppliesToNewJobsOnly) {
   auto cfg = small_config(11);
   FacilitySimulator sim(cat_, cfg);

@@ -10,7 +10,10 @@
 //   hpcem_prof current.trace.json --compare baseline.trace.json
 //              --span sim.sample.power --fail-pct 15
 // prints the per-span delta table and exits 3 when the named span's self
-// time regressed by more than --fail-pct percent.
+// time regressed by more than --fail-pct percent.  --metric gates an
+// embedded metric the same way (trace schema v2 "metrics" member): a
+// counter's value or a histogram's sum must not grow past the gate.
+// Both options take comma-separated lists; every named gate must pass.
 //
 // Exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 regression gate
 // breached.
@@ -18,6 +21,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "obs/metrics_export.hpp"
@@ -51,14 +55,6 @@ std::string doc_schema(const JsonValue& doc, const std::string& path) {
 /// Column formatting: tick counts are integers, wall times fractional us.
 std::string fmt_time(double v, const std::string& unit) {
   return unit == "ticks" ? TextTable::grouped(v) : TextTable::num(v, 3);
-}
-
-obs::Profile load_profile(const std::string& path) {
-  const JsonValue doc = load_json(path);
-  const std::string schema = doc_schema(doc, path);
-  require(schema == "hpcem.trace",
-          path + ": expected an hpcem.trace document, got: " + schema);
-  return obs::profile_trace(doc);
 }
 
 void sort_entries(std::vector<obs::ProfileEntry>& entries,
@@ -137,11 +133,69 @@ std::string fmt_pct(double pct) {
   return pct > 0.0 ? "+" + s : s;
 }
 
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// The gated scalar of one named metric: a counter's value or a
+/// histogram's sum (total ns / ticks across all records).
+bool metric_value(const obs::MetricsSnapshot& snap, const std::string& name,
+                  double* out) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) {
+      *out = static_cast<double>(c.value);
+      return true;
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) {
+      *out = static_cast<double>(h.sum);
+      return true;
+    }
+  }
+  return false;
+}
+
+obs::MetricsSnapshot embedded_metrics(const JsonValue& doc,
+                                      const std::string& path) {
+  const JsonValue* metrics = doc.get("metrics");
+  require(metrics != nullptr,
+          path + ": trace has no \"metrics\" member (needs trace schema "
+                 "v2; re-record the baseline)");
+  return obs::metrics_from_json(*metrics);
+}
+
+/// One named gate's verdict: prints the ok/REGRESSION line, returns true
+/// when the gate holds.
+bool apply_gate(const std::string& what, const std::string& name, double pct,
+                double fail_pct) {
+  if (pct > fail_pct) {
+    std::cout << "\nREGRESSION: " << name << ' ' << what << ' '
+              << fmt_pct(pct) << " exceeds the " << fail_pct << "% gate\n";
+    return false;
+  }
+  std::cout << "\nok: " << name << ' ' << what << ' ' << fmt_pct(pct)
+            << " within the " << fail_pct << "% gate\n";
+  return true;
+}
+
 int run_compare(const std::string& current_path,
                 const std::string& baseline_path, const std::string& span,
-                double fail_pct) {
-  const obs::Profile baseline = load_profile(baseline_path);
-  const obs::Profile current = load_profile(current_path);
+                const std::string& metric, double fail_pct) {
+  const JsonValue doc_a = load_json(baseline_path);
+  const JsonValue doc_b = load_json(current_path);
+  require(doc_schema(doc_a, baseline_path) == "hpcem.trace",
+          baseline_path + ": expected an hpcem.trace document");
+  require(doc_schema(doc_b, current_path) == "hpcem.trace",
+          current_path + ": expected an hpcem.trace document");
+  const obs::Profile baseline = obs::profile_trace(doc_a);
+  const obs::Profile current = obs::profile_trace(doc_b);
   const auto deltas = obs::compare_profiles(baseline, current);
 
   const std::string u = " (" + current.time_unit + ")";
@@ -158,21 +212,40 @@ int run_compare(const std::string& current_path,
   std::cout << "A = " << baseline_path << "\nB = " << current_path << "\n\n"
             << t.str();
 
-  if (span.empty()) return tools::kExitOk;
-  for (const auto& d : deltas) {
-    if (d.name != span) continue;
-    if (d.self_pct > fail_pct) {
-      std::cout << "\nREGRESSION: " << span << " self time "
-                << fmt_pct(d.self_pct) << " exceeds the " << fail_pct
-                << "% gate\n";
-      return kExitRegression;
+  bool ok = true;
+  for (const std::string& name : split_names(span)) {
+    bool found = false;
+    for (const auto& d : deltas) {
+      if (d.name != name) continue;
+      found = true;
+      ok = apply_gate("self time", name, d.self_pct, fail_pct) && ok;
+      break;
     }
-    std::cout << "\nok: " << span << " self time " << fmt_pct(d.self_pct)
-              << " within the " << fail_pct << "% gate\n";
-    return tools::kExitOk;
+    if (!found) {
+      std::cerr << "error: span not found in either trace: " << name << '\n';
+      return tools::kExitFailure;
+    }
   }
-  std::cerr << "error: span not found in either trace: " << span << '\n';
-  return tools::kExitFailure;
+  if (!metric.empty()) {
+    const obs::MetricsSnapshot ma = embedded_metrics(doc_a, baseline_path);
+    const obs::MetricsSnapshot mb = embedded_metrics(doc_b, current_path);
+    for (const std::string& name : split_names(metric)) {
+      double va = 0.0;
+      double vb = 0.0;
+      if (!metric_value(ma, name, &va) || !metric_value(mb, name, &vb)) {
+        std::cerr << "error: metric not found in both traces: " << name
+                  << '\n';
+        return tools::kExitFailure;
+      }
+      const double pct = va == 0.0
+                             ? (vb == 0.0 ? 0.0
+                                          : std::numeric_limits<
+                                                double>::infinity())
+                             : (vb - va) / va * 100.0;
+      ok = apply_gate("value", name, pct, fail_pct) && ok;
+    }
+  }
+  return ok ? tools::kExitOk : kExitRegression;
 }
 
 }  // namespace
@@ -187,10 +260,14 @@ int main(int argc, char** argv) {
   args.add_option("compare", "",
                   "baseline trace to diff the input trace against");
   args.add_option("span", "",
-                  "with --compare: span name the regression gate watches");
+                  "with --compare: span name(s, comma-separated) the "
+                  "regression gate watches");
+  args.add_option("metric", "",
+                  "with --compare: embedded metric name(s, comma-separated) "
+                  "to gate (counter value or histogram sum; trace v2)");
   args.add_option("fail-pct", "15",
-                  "with --span: exit 3 when the span's self time grew by "
-                  "more than this percentage");
+                  "with --span/--metric: exit 3 when a gated quantity grew "
+                  "by more than this percentage");
   args.allow_positionals("file",
                          "one trace.json or artifact.json to read");
   args.set_version(tools::version_line("hpcem_prof"));
@@ -206,15 +283,16 @@ int main(int argc, char** argv) {
       sort_key != "name") {
     return tools::usage_error(args, "bad --sort key: " + sort_key);
   }
-  if (!args.get("span").empty() && args.get("compare").empty()) {
-    return tools::usage_error(args, "--span needs --compare");
+  if ((!args.get("span").empty() || !args.get("metric").empty()) &&
+      args.get("compare").empty()) {
+    return tools::usage_error(args, "--span/--metric need --compare");
   }
 
   return tools::tool_main([&] {
     const std::string path = args.positionals().front();
     if (!args.get("compare").empty()) {
       return run_compare(path, args.get("compare"), args.get("span"),
-                         args.get_double("fail-pct"));
+                         args.get("metric"), args.get_double("fail-pct"));
     }
 
     const JsonValue doc = load_json(path);
