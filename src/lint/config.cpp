@@ -35,6 +35,14 @@ bool LintConfig::rule_disabled(std::string_view rule) const {
   return false;
 }
 
+bool LintConfig::rule_selected(std::string_view rule) const {
+  if (only_rules.empty()) return true;
+  for (const std::string& r : only_rules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
 bool LintConfig::allowed(std::string_view rule, std::string_view path) const {
   for (const Allow& a : allows) {
     if (a.rule == rule && glob_match(a.glob, path)) return true;

@@ -28,8 +28,13 @@ struct LintConfig {
   std::vector<std::string> disabled_rules;
   std::vector<Allow> allows;
   std::vector<std::string> excludes;
+  /// CLI `--rule=` selection: when non-empty, only these rules run (on top
+  /// of `disable` directives).  Not part of the file format.
+  std::vector<std::string> only_rules;
 
   [[nodiscard]] bool rule_disabled(std::string_view rule) const;
+  /// True when the rule should run under the `only_rules` selection.
+  [[nodiscard]] bool rule_selected(std::string_view rule) const;
   [[nodiscard]] bool allowed(std::string_view rule,
                              std::string_view path) const;
   [[nodiscard]] bool excluded(std::string_view path) const;

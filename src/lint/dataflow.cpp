@@ -1,0 +1,768 @@
+#include "lint/dataflow.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+
+#include "lint/symbols.hpp"
+
+namespace hpcem::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+std::size_t next_code(const Tokens& toks, std::size_t i) {
+  ++i;
+  while (i < toks.size() && (toks[i].kind == TokenKind::kComment ||
+                             toks[i].kind == TokenKind::kPreprocessor)) {
+    ++i;
+  }
+  return i;
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+struct SuffixRule {
+  std::string_view suffix;
+  UnitKind kind;
+};
+
+// Ordered longest-specificity-first; checked with exact ends-with so `draw`
+// never matches `_w` and `power_min` never reads as minutes.
+constexpr std::array<SuffixRule, 27> kSuffixes = {{
+    {"_gbp_per_kwh", UnitKind::kPrice},
+    {"_per_kwh", UnitKind::kPrice},
+    {"_kilowatts", UnitKind::kPower},
+    {"_megawatts", UnitKind::kPower},
+    {"_watts", UnitKind::kPower},
+    {"_joules", UnitKind::kEnergy},
+    {"_kwh", UnitKind::kEnergy},
+    {"_mwh", UnitKind::kEnergy},
+    {"_wh", UnitKind::kEnergy},
+    {"_kw", UnitKind::kPower},
+    {"_mw", UnitKind::kPower},
+    {"_w", UnitKind::kPower},
+    {"_j", UnitKind::kEnergy},
+    {"_seconds", UnitKind::kDuration},
+    {"_secs", UnitKind::kDuration},
+    {"_sec", UnitKind::kDuration},
+    {"_hours", UnitKind::kDuration},
+    {"_hrs", UnitKind::kDuration},
+    {"_hr", UnitKind::kDuration},
+    {"_ns", UnitKind::kDuration},
+    {"_ms", UnitKind::kDuration},
+    {"_s", UnitKind::kDuration},
+    {"_h", UnitKind::kDuration},
+    {"_ghz", UnitKind::kFrequency},
+    {"_mhz", UnitKind::kFrequency},
+    {"_hz", UnitKind::kFrequency},
+    {"_gbp", UnitKind::kCost},
+}};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() > suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+const char* unit_kind_name(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kUnknown: return "unknown";
+    case UnitKind::kScalar: return "scalar";
+    case UnitKind::kPower: return "power";
+    case UnitKind::kEnergy: return "energy";
+    case UnitKind::kDuration: return "duration";
+    case UnitKind::kCarbonMass: return "carbon mass";
+    case UnitKind::kCarbonIntensity: return "carbon intensity";
+    case UnitKind::kCost: return "cost";
+    case UnitKind::kPrice: return "price";
+    case UnitKind::kFrequency: return "frequency";
+  }
+  return "unknown";
+}
+
+UnitKind unit_of_identifier(std::string_view name) {
+  const std::string low = lowercase(name);
+  if (low.find("gco2") != std::string::npos) {
+    // _gco2 / _gco2e -> mass; _gco2_per_kwh and friends -> intensity.
+    return low.find("kwh") != std::string::npos ? UnitKind::kCarbonIntensity
+                                                : UnitKind::kCarbonMass;
+  }
+  // Mass per energy is a carbon intensity (g_per_kwh, kg_per_kwh); only
+  // money per energy (_gbp_per_kwh, plain _per_kwh) stays a price.
+  if (low == "g_per_kwh" || ends_with(low, "g_per_kwh")) {
+    return UnitKind::kCarbonIntensity;
+  }
+  for (const SuffixRule& r : kSuffixes) {
+    if (ends_with(low, r.suffix)) return r.kind;
+  }
+  return UnitKind::kUnknown;
+}
+
+std::string_view unit_suffix_of(std::string_view name) {
+  const std::string low = lowercase(name);
+  if (low.find("gco2") != std::string::npos) return {};
+  for (const SuffixRule& r : kSuffixes) {
+    if (ends_with(low, r.suffix)) return r.suffix;
+  }
+  return {};
+}
+
+UnitKind unit_multiply(UnitKind a, UnitKind b) {
+  using U = UnitKind;
+  if (a == U::kUnknown || b == U::kUnknown) return U::kUnknown;
+  if (a == U::kScalar) return b;
+  if (b == U::kScalar) return a;
+  auto pair = [&](U x, U y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (pair(U::kPower, U::kDuration)) return U::kEnergy;
+  if (pair(U::kCarbonIntensity, U::kEnergy)) return U::kCarbonMass;
+  if (pair(U::kPrice, U::kEnergy)) return U::kCost;
+  if (pair(U::kFrequency, U::kDuration)) return U::kScalar;
+  return U::kUnknown;
+}
+
+UnitKind unit_divide(UnitKind a, UnitKind b) {
+  using U = UnitKind;
+  if (a == U::kUnknown || b == U::kUnknown) return U::kUnknown;
+  if (b == U::kScalar) return a;
+  if (a == b) return U::kScalar;
+  if (a == U::kEnergy && b == U::kDuration) return U::kPower;
+  if (a == U::kEnergy && b == U::kPower) return U::kDuration;
+  if (a == U::kCarbonMass && b == U::kEnergy) return U::kCarbonIntensity;
+  if (a == U::kCarbonMass && b == U::kCarbonIntensity) return U::kEnergy;
+  if (a == U::kCost && b == U::kEnergy) return U::kPrice;
+  if (a == U::kCost && b == U::kPrice) return U::kEnergy;
+  return U::kUnknown;
+}
+
+bool units_conflict(UnitKind a, UnitKind b) {
+  return a != UnitKind::kUnknown && b != UnitKind::kUnknown &&
+         a != UnitKind::kScalar && b != UnitKind::kScalar && a != b;
+}
+
+namespace {
+
+/// The dimension (plus scale tag + anchor) of a sub-expression.
+struct Value {
+  UnitKind kind = UnitKind::kUnknown;
+  std::string_view suffix;   ///< scale tag when a bare suffixed name
+  std::size_t token = 0;     ///< anchor token
+  std::string bare_name;     ///< set when the expression is one identifier
+};
+
+/// Names whose calls pass their first dimensioned argument through.
+bool is_passthrough_callee(std::string_view name) {
+  static constexpr std::array<std::string_view, 12> kNames = {
+      "static_cast", "min",   "max",   "abs",  "clamp",  "move",
+      "round",       "floor", "ceil",  "fabs", "double", "float"};
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+/// Precedence-climbing dimension evaluator over a token slice.  Anything
+/// outside its grammar evaluates to Unknown; it must always make progress.
+class UnitEvaluator {
+ public:
+  UnitEvaluator(const Tokens& toks, const SymbolIndex* symbols,
+                std::map<std::string, UnitKind, std::less<>>& var_units,
+                std::vector<UnitFinding>& out)
+      : toks_(toks), symbols_(symbols), var_units_(var_units), out_(out) {}
+
+  /// Evaluate [begin, end); visits trailing sub-expressions (ternaries,
+  /// comma operators) so their findings still fire, but returns the first
+  /// expression's value.
+  Value evaluate(std::size_t begin, std::size_t end) {
+    pos_ = begin;
+    end_ = end;
+    const Value first = parse_expr();
+    while (pos_ < end_) {
+      const std::size_t before = pos_;
+      parse_expr();
+      if (pos_ == before) ++pos_;  // unparseable token: step over it
+    }
+    return first;
+  }
+
+  void emit(std::size_t token, std::string message) {
+    out_.push_back(UnitFinding{token, std::move(message)});
+  }
+
+ private:
+  Value parse_expr() {
+    Value lhs = parse_additive();
+    if (pos_ >= end_) return lhs;
+    const Token& t = toks_[pos_];
+    static constexpr std::array<std::string_view, 6> kCompare = {
+        "<", ">", "<=", ">=", "==", "!="};
+    if (t.kind == TokenKind::kPunct &&
+        std::find(kCompare.begin(), kCompare.end(), t.text) !=
+            kCompare.end()) {
+      // `<<`/`>>` lex as two tokens: a stream/shift, not a comparison.
+      const std::size_t n = next_code(toks_, pos_);
+      if ((t.text == "<" || t.text == ">") && n < end_ &&
+          toks_[n].is_punct(t.text)) {
+        pos_ = end_;  // stream expression: nothing more to learn
+        return Value{};
+      }
+      const std::size_t op = pos_;
+      pos_ = n;
+      const Value rhs = parse_additive();
+      if (units_conflict(lhs.kind, rhs.kind)) {
+        emit(op, std::string("comparison mixes ") +
+                     unit_kind_name(lhs.kind) + " and " +
+                     unit_kind_name(rhs.kind));
+      }
+      Value v;
+      v.kind = UnitKind::kScalar;
+      v.token = lhs.token;
+      return v;
+    }
+    return lhs;
+  }
+
+  Value parse_additive() {
+    Value v = parse_mul();
+    while (pos_ < end_ && (toks_[pos_].is_punct("+") ||
+                           toks_[pos_].is_punct("-"))) {
+      const std::size_t op = pos_;
+      pos_ = next_code(toks_, pos_);
+      const Value r = parse_mul();
+      if (units_conflict(v.kind, r.kind)) {
+        emit(op, std::string("mixed-unit accumulation: ") +
+                     unit_kind_name(v.kind) + " + " +
+                     unit_kind_name(r.kind));
+        v.kind = UnitKind::kUnknown;
+        v.suffix = {};
+        continue;
+      }
+      if (v.kind == r.kind && !v.suffix.empty() && !r.suffix.empty() &&
+          v.suffix != r.suffix) {
+        emit(op, std::string("mixed-scale accumulation: '") +
+                     std::string(v.suffix) + "' + '" + std::string(r.suffix) +
+                     "' on the same dimension");
+        v.suffix = {};
+        continue;
+      }
+      if (v.kind == UnitKind::kScalar || v.kind == UnitKind::kUnknown) {
+        v.kind = r.kind == UnitKind::kUnknown ? v.kind : r.kind;
+        v.suffix = r.suffix;
+      } else if (r.suffix != v.suffix) {
+        v.suffix = {};
+      }
+      v.bare_name.clear();
+    }
+    return v;
+  }
+
+  Value parse_mul() {
+    Value v = parse_unary();
+    while (pos_ < end_ &&
+           (toks_[pos_].is_punct("*") || toks_[pos_].is_punct("/") ||
+            toks_[pos_].is_punct("%"))) {
+      const std::size_t op = pos_;
+      const bool mul = toks_[pos_].is_punct("*");
+      const bool div = toks_[pos_].is_punct("/");
+      pos_ = next_code(toks_, pos_);
+      const Value r = parse_unary();
+      if (mul) {
+        check_multiply_errors(op, v.kind, r.kind);
+        v.kind = unit_multiply(v.kind, r.kind);
+      } else if (div) {
+        v.kind = unit_divide(v.kind, r.kind);
+      } else {
+        v.kind = UnitKind::kUnknown;
+      }
+      v.suffix = {};
+      v.bare_name.clear();
+    }
+    return v;
+  }
+
+  void check_multiply_errors(std::size_t op, UnitKind a, UnitKind b) {
+    auto pair = [&](UnitKind x, UnitKind y) {
+      return (a == x && b == y) || (a == y && b == x);
+    };
+    if (pair(UnitKind::kCarbonIntensity, UnitKind::kPower)) {
+      emit(op,
+           "carbon intensity applied to power instead of energy; multiply "
+           "the power by a duration to get energy first");
+    } else if (pair(UnitKind::kPrice, UnitKind::kPower)) {
+      emit(op,
+           "price (per kWh) applied to power instead of energy; multiply "
+           "the power by a duration to get energy first");
+    }
+  }
+
+  Value parse_unary() {
+    while (pos_ < end_ &&
+           (toks_[pos_].is_punct("-") || toks_[pos_].is_punct("+") ||
+            toks_[pos_].is_punct("!") || toks_[pos_].is_punct("~") ||
+            toks_[pos_].is_punct("&") || toks_[pos_].is_punct("*"))) {
+      pos_ = next_code(toks_, pos_);
+    }
+    return parse_postfix();
+  }
+
+  Value parse_postfix() {
+    Value v;
+    if (pos_ >= end_) return v;
+    const Token& t = toks_[pos_];
+    v.token = pos_;
+
+    if (t.kind == TokenKind::kNumber) {
+      const UnitKind udl = unit_of_identifier(t.text);
+      v.kind = udl == UnitKind::kUnknown ? UnitKind::kScalar : udl;
+      pos_ = next_code(toks_, pos_);
+      return v;
+    }
+    if (t.kind == TokenKind::kString || t.kind == TokenKind::kRawString ||
+        t.kind == TokenKind::kCharLiteral) {
+      pos_ = next_code(toks_, pos_);
+      return v;
+    }
+    if (t.is_punct("(")) {
+      const std::size_t close = matching(pos_, "(", ")");
+      if (close >= end_) {
+        pos_ = end_;
+        return v;
+      }
+      v = eval_sub(next_code(toks_, pos_), close);
+      pos_ = next_code(toks_, close);
+      return parse_postfix_tail(v);
+    }
+    if (t.is_punct("{") || t.is_punct("[")) {
+      const std::size_t close =
+          matching(pos_, t.text == "{" ? "{" : "[", t.text == "{" ? "}" : "]");
+      pos_ = close >= end_ ? end_ : next_code(toks_, close);
+      return v;
+    }
+    if (t.kind != TokenKind::kIdentifier) {
+      pos_ = next_code(toks_, pos_);
+      return v;
+    }
+
+    // Identifier chain: `a::b`, `x.y`, `p->q`, calls, indexing.  The
+    // chain's dimension is updated at each segment: a suffixed name sets
+    // it, a call resets it to the callee's own suffix (except passthrough
+    // members like `.count()`/`.load()` which keep the receiver's).
+    std::string last_name = t.text;
+    UnitKind chain_kind = unit_of_identifier(last_name);
+    std::string_view chain_suffix = unit_suffix_of(last_name);
+    bool is_bare = true;  // a single plain identifier, nothing else
+    pos_ = next_code(toks_, pos_);
+    while (pos_ < end_) {
+      const Token& n = toks_[pos_];
+      if (n.is_punct("::") || n.is_punct(".") || n.is_punct("->")) {
+        const std::size_t id = next_code(toks_, pos_);
+        if (id >= end_ || toks_[id].kind != TokenKind::kIdentifier) break;
+        last_name = toks_[id].text;
+        const UnitKind named = unit_of_identifier(last_name);
+        if (named != UnitKind::kUnknown) {
+          chain_kind = named;
+          chain_suffix = unit_suffix_of(last_name);
+        }
+        is_bare = false;
+        pos_ = next_code(toks_, id);
+        continue;
+      }
+      if (n.is_punct("<")) {
+        // Template argument list only when the balanced angles are followed
+        // by '('; otherwise this is a comparison for parse_expr.
+        const std::size_t close = matching(pos_, "<", ">");
+        if (close >= end_) break;
+        const std::size_t after = next_code(toks_, close);
+        if (after >= end_ || !toks_[after].is_punct("(")) break;
+        is_bare = false;
+        pos_ = after;
+        continue;
+      }
+      if (n.is_punct("(")) {
+        const std::size_t close = matching(pos_, "(", ")");
+        if (close >= end_) {
+          pos_ = end_;
+          break;
+        }
+        const Value call = eval_call(last_name, pos_, close);
+        pos_ = next_code(toks_, close);
+        is_bare = false;
+        if (call.kind != UnitKind::kUnknown) {
+          chain_kind = call.kind;
+          chain_suffix = unit_suffix_of(last_name);
+        } else if (!is_passthrough_member(last_name)) {
+          chain_kind = UnitKind::kUnknown;
+          chain_suffix = {};
+        }
+        continue;
+      }
+      if (n.is_punct("[")) {
+        const std::size_t close = matching(pos_, "[", "]");
+        if (close >= end_) {
+          pos_ = end_;
+          break;
+        }
+        eval_sub(next_code(toks_, pos_), close);
+        pos_ = next_code(toks_, close);
+        is_bare = false;
+        continue;
+      }
+      break;
+    }
+
+    v.kind = chain_kind;
+    v.suffix = chain_suffix;
+    if (is_bare) {
+      v.bare_name = last_name;
+      if (v.kind == UnitKind::kUnknown) {
+        const auto it = var_units_.find(last_name);
+        if (it != var_units_.end()) v.kind = it->second;
+      }
+    }
+    return v;
+  }
+
+  /// Member calls that yield the receiver's own quantity.
+  static bool is_passthrough_member(std::string_view name) {
+    static constexpr std::array<std::string_view, 8> kNames = {
+        "count", "value", "get", "load", "back", "front", "at", "top"};
+    return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+  }
+
+  /// Postfix continuation after a parenthesised primary: `(x).count()` etc.
+  Value parse_postfix_tail(Value v) {
+    while (pos_ < end_ && (toks_[pos_].is_punct(".") ||
+                           toks_[pos_].is_punct("->"))) {
+      const std::size_t id = next_code(toks_, pos_);
+      if (id >= end_ || toks_[id].kind != TokenKind::kIdentifier) break;
+      const UnitKind named = unit_of_identifier(toks_[id].text);
+      if (named != UnitKind::kUnknown) {
+        v.kind = named;
+        v.suffix = unit_suffix_of(toks_[id].text);
+      }
+      pos_ = next_code(toks_, id);
+      if (pos_ < end_ && toks_[pos_].is_punct("(")) {
+        const std::size_t close = matching(pos_, "(", ")");
+        if (close >= end_) {
+          pos_ = end_;
+          break;
+        }
+        pos_ = next_code(toks_, close);
+      }
+    }
+    v.bare_name.clear();
+    return v;
+  }
+
+  /// Evaluate the arguments of `callee(args...)` ('(' at `open`), check
+  /// them against the callee's parameter names, and return the call's
+  /// dimension (from the callee name's own suffix).
+  Value eval_call(const std::string& callee, std::size_t open,
+                  std::size_t close) {
+    std::vector<Value> args;
+    std::size_t start = next_code(toks_, open);
+    int depth = 0;
+    int angle = 0;
+    for (std::size_t k = start; k <= close && k < toks_.size(); ++k) {
+      const Token& t = toks_[k];
+      const bool at_end = k == close;
+      if (!at_end) {
+        if (t.is_punct("(") || t.is_punct("{") || t.is_punct("[")) ++depth;
+        if (t.is_punct(")") || t.is_punct("}") || t.is_punct("]")) --depth;
+        if (t.is_punct("<")) ++angle;
+        if (t.is_punct(">") && angle > 0) --angle;
+      }
+      if (at_end || (depth == 0 && angle == 0 && t.is_punct(","))) {
+        if (k > start) args.push_back(eval_sub(start, k));
+        start = next_code(toks_, k);
+      }
+    }
+
+    Value result;
+    result.token = open;
+    if (is_passthrough_callee(callee)) {
+      for (const Value& a : args) {
+        if (a.kind != UnitKind::kUnknown && a.kind != UnitKind::kScalar) {
+          result.kind = a.kind;
+          break;
+        }
+      }
+      return result;
+    }
+    result.kind = unit_of_identifier(callee);
+
+    if (symbols_ != nullptr) check_call_args(callee, args);
+    return result;
+  }
+
+  void check_call_args(const std::string& callee,
+                       const std::vector<Value>& args) {
+    const std::vector<std::size_t> cands = symbols_->by_name(callee);
+    if (cands.empty() || cands.size() > 4) return;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].kind == UnitKind::kUnknown ||
+          args[i].kind == UnitKind::kScalar) {
+        continue;
+      }
+      UnitKind expected = UnitKind::kUnknown;
+      std::string param_name;
+      bool agree = true;
+      for (const std::size_t c : cands) {
+        const SymbolFunction& f = symbols_->functions()[c];
+        if (i >= f.param_names.size()) {
+          agree = false;
+          break;
+        }
+        const UnitKind k = unit_of_identifier(f.param_names[i]);
+        if (k == UnitKind::kUnknown) {
+          agree = false;
+          break;
+        }
+        if (expected == UnitKind::kUnknown) {
+          expected = k;
+          param_name = f.param_names[i];
+        } else if (expected != k) {
+          agree = false;
+          break;
+        }
+      }
+      if (!agree || expected == UnitKind::kUnknown) continue;
+      if (units_conflict(expected, args[i].kind)) {
+        emit(args[i].token,
+             "argument " + std::to_string(i + 1) + " of '" + callee +
+                 "' is parameter '" + param_name + "' (" +
+                 unit_kind_name(expected) + ") but receives a " +
+                 unit_kind_name(args[i].kind) + " expression");
+      }
+    }
+  }
+
+  /// Evaluate a sub-slice with saved/restored cursor state.
+  Value eval_sub(std::size_t begin, std::size_t end) {
+    const std::size_t sp = pos_;
+    const std::size_t se = end_;
+    const Value v = evaluate(begin, end);
+    pos_ = sp;
+    end_ = se;
+    return v;
+  }
+
+  /// Index of the punct closing the one at `i` within the slice; end_ when
+  /// unbalanced.
+  std::size_t matching(std::size_t i, std::string_view open,
+                       std::string_view close) {
+    int depth = 0;
+    for (std::size_t k = i; k < end_; k = next_code(toks_, k)) {
+      if (toks_[k].is_punct(open)) ++depth;
+      if (toks_[k].is_punct(close)) {
+        --depth;
+        if (depth == 0) return k;
+      }
+    }
+    return end_;
+  }
+
+  const Tokens& toks_;
+  const SymbolIndex* symbols_;
+  std::map<std::string, UnitKind, std::less<>>& var_units_;
+  std::vector<UnitFinding>& out_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+};
+
+}  // namespace
+
+void analyze_function_units(const std::vector<Token>& toks, const FileAst& ast,
+                            const FunctionDef& fn, const SymbolIndex* symbols,
+                            std::vector<UnitFinding>& out) {
+  if (fn.body_scope == 0 || fn.body_scope >= ast.scopes.size()) return;
+  const Scope& body = ast.scopes[fn.body_scope];
+
+  std::map<std::string, UnitKind, std::less<>> var_units;
+  // Locals declared anywhere inside the body, keyed by declarator token.
+  std::map<std::size_t, const VarDecl*> local_at;
+  for (const VarDecl& l : ast.locals) {
+    if (l.name_token > body.begin_token && l.name_token < body.end_token) {
+      local_at[l.name_token] = &l;
+    }
+  }
+
+  UnitEvaluator eval(toks, symbols, var_units, out);
+  // `draw_at_ghz`-style names describe a *parameter* with the trailing
+  // suffix ("the draw, at this frequency"), not the return value; only a
+  // directly-suffixed name pins the return dimension.
+  UnitKind fn_unit = unit_of_identifier(fn.name);
+  {
+    const std::string_view sfx = unit_suffix_of(fn.name);
+    if (!sfx.empty() && fn.name.size() > sfx.size() + 3) {
+      const std::string_view stem(fn.name.data(),
+                                  fn.name.size() - sfx.size());
+      if (stem.size() >= 3 &&
+          stem.substr(stem.size() - 3) == "_at") {
+        fn_unit = UnitKind::kUnknown;
+      }
+    }
+  }
+
+  static constexpr std::array<std::string_view, 5> kAssignOps = {
+      "=", "+=", "-=", "*=", "/="};
+
+  std::size_t stmt_start = body.begin_token + 1;
+  for (std::size_t i = body.begin_token + 1;
+       i < body.end_token && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const bool boundary =
+        t.is_punct(";") || t.is_punct("{") || t.is_punct("}");
+    if (!boundary) continue;
+    const std::size_t s = stmt_start;
+    const std::size_t e = i;
+    stmt_start = i + 1;
+    // Skip comment-only / empty statements.
+    std::size_t first = s;
+    while (first < e && (toks[first].kind == TokenKind::kComment ||
+                         toks[first].kind == TokenKind::kPreprocessor)) {
+      ++first;
+    }
+    if (first >= e) continue;
+
+    if (toks[first].kind == TokenKind::kIdentifier) {
+      const std::string& kw = toks[first].text;
+      if (kw == "return") {
+        const Value v = eval.evaluate(next_code(toks, first), e);
+        if (units_conflict(fn_unit, v.kind)) {
+          eval.emit(first, "function '" + fn.name + "' is named with a " +
+                               std::string(unit_kind_name(fn_unit)) +
+                               " suffix but returns a " +
+                               unit_kind_name(v.kind) + " expression");
+        }
+        continue;
+      }
+      if (kw == "if" || kw == "while" || kw == "switch") {
+        eval.evaluate(next_code(toks, first), e);
+        continue;
+      }
+      if (kw == "for" || kw == "do" || kw == "else" || kw == "case" ||
+          kw == "break" || kw == "continue" || kw == "using" ||
+          kw == "goto" || kw == "default" || kw == "try" || kw == "catch") {
+        continue;
+      }
+    }
+
+    // Local declaration with `=` initializer?
+    const VarDecl* decl = nullptr;
+    for (std::size_t k = first; k < e; ++k) {
+      const auto it = local_at.find(k);
+      if (it != local_at.end()) {
+        decl = it->second;
+        break;
+      }
+    }
+    if (decl != nullptr) {
+      const std::size_t eq = next_code(toks, decl->name_token);
+      if (eq < e && toks[eq].is_punct("=")) {
+        const Value rhs = eval.evaluate(next_code(toks, eq), e);
+        const UnitKind declared = unit_of_identifier(decl->name);
+        if (units_conflict(declared, rhs.kind)) {
+          if (declared == UnitKind::kEnergy && rhs.kind == UnitKind::kPower) {
+            eval.emit(decl->name_token,
+                      "power used as energy without a duration multiply in "
+                      "the initializer of '" + decl->name + "'");
+          } else {
+            eval.emit(decl->name_token,
+                      "'" + decl->name + "' (" + unit_kind_name(declared) +
+                          ") is initialized from a " +
+                          unit_kind_name(rhs.kind) + " expression");
+          }
+        } else if (declared == UnitKind::kUnknown &&
+                   rhs.kind != UnitKind::kUnknown &&
+                   rhs.kind != UnitKind::kScalar) {
+          var_units[decl->name] = rhs.kind;  // def-use propagation
+        }
+      }
+      continue;
+    }
+
+    // Assignment statement?  Find a top-level assignment operator.
+    std::size_t op = e;
+    int depth = 0;
+    for (std::size_t k = first; k < e; ++k) {
+      const Token& a = toks[k];
+      if (a.is_punct("(") || a.is_punct("[")) ++depth;
+      if (a.is_punct(")") || a.is_punct("]")) --depth;
+      if (depth == 0 && a.kind == TokenKind::kPunct &&
+          std::find(kAssignOps.begin(), kAssignOps.end(), a.text) !=
+              kAssignOps.end()) {
+        op = k;
+        break;
+      }
+    }
+    if (op < e) {
+      const Value lhs = eval.evaluate(first, op);
+      const Value rhs = eval.evaluate(next_code(toks, op), e);
+      const std::string& opt = toks[op].text;
+      if (opt == "=" || opt == "+=" || opt == "-=") {
+        if (units_conflict(lhs.kind, rhs.kind)) {
+          if (opt == "=") {
+            if (lhs.kind == UnitKind::kEnergy &&
+                rhs.kind == UnitKind::kPower) {
+              eval.emit(op,
+                        "power used as energy without a duration multiply "
+                        "in assignment");
+            } else {
+              eval.emit(op, std::string("assignment of a ") +
+                                unit_kind_name(rhs.kind) +
+                                " expression to a " +
+                                unit_kind_name(lhs.kind) + " target");
+            }
+          } else {
+            eval.emit(op, std::string("mixed-unit accumulation: ") +
+                              unit_kind_name(lhs.kind) + " " + opt + " " +
+                              unit_kind_name(rhs.kind));
+          }
+        } else if (lhs.kind == rhs.kind && !lhs.suffix.empty() &&
+                   !rhs.suffix.empty() && lhs.suffix != rhs.suffix &&
+                   opt != "=") {
+          eval.emit(op, std::string("mixed-scale accumulation: '") +
+                            std::string(lhs.suffix) + "' " + opt + " '" +
+                            std::string(rhs.suffix) + "'");
+        }
+        if (opt == "=" && !lhs.bare_name.empty() &&
+            unit_of_identifier(lhs.bare_name) == UnitKind::kUnknown &&
+            rhs.kind != UnitKind::kUnknown &&
+            rhs.kind != UnitKind::kScalar) {
+          var_units[lhs.bare_name] = rhs.kind;
+        }
+      } else {  // *= or /=
+        const UnitKind result = opt == "*="
+                                    ? unit_multiply(lhs.kind, rhs.kind)
+                                    : unit_divide(lhs.kind, rhs.kind);
+        if (opt == "*=" &&
+            ((lhs.kind == UnitKind::kCarbonIntensity &&
+              rhs.kind == UnitKind::kPower) ||
+             (lhs.kind == UnitKind::kPower &&
+              rhs.kind == UnitKind::kCarbonIntensity))) {
+          eval.emit(op,
+                    "carbon intensity applied to power instead of energy; "
+                    "multiply the power by a duration to get energy first");
+        } else if (units_conflict(lhs.kind, result)) {
+          eval.emit(op, std::string("compound ") + opt +
+                            " changes the target's dimension from " +
+                            unit_kind_name(lhs.kind) + " to " +
+                            unit_kind_name(result));
+        }
+      }
+      continue;
+    }
+
+    // Plain expression statement: evaluate for nested findings.
+    eval.evaluate(first, e);
+  }
+}
+
+}  // namespace hpcem::lint

@@ -1,0 +1,80 @@
+// Per-function unit dataflow for the units-flow lint rule.
+//
+// The paper's accounting arithmetic lives in suffix-named quantities
+// (`power_kw`, `energy_kwh`, `intensity_gco2_per_kwh`, ...).  This pass
+// assigns each such name a *dimension* (power, energy, duration, carbon
+// mass, carbon intensity, cost, price, frequency), evaluates expression
+// dimensions through a small precedence parser, and tracks locals through
+// assignments so that e.g.
+//
+//     double energy_kwh = node_power_kw;            // power used as energy
+//     total_gco2 += intensity_gco2_per_kwh * draw_kw;  // intensity x power
+//     sum_kwh += cost_gbp;                          // mixed-unit accumulation
+//
+// are all findings.  Dimensions are checked at the *kind* level (power vs
+// energy), not the scale level (kW vs MW), except for the additive
+// scale-tag check on bare identifiers (`a_w + b_kw`).  Anything the parser
+// cannot model evaluates to Unknown, which propagates silently — the rule
+// must never guess.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/ast.hpp"
+#include "lint/lexer.hpp"
+
+namespace hpcem::lint {
+
+class SymbolIndex;
+
+enum class UnitKind {
+  kUnknown,  ///< not a unit-carrying expression; propagates silently
+  kScalar,   ///< dimensionless (numbers, ratios); identity under *
+  kPower,
+  kEnergy,
+  kDuration,
+  kCarbonMass,
+  kCarbonIntensity,
+  kCost,
+  kPrice,  ///< cost per energy (gbp/kWh)
+  kFrequency,
+};
+
+/// Human-readable dimension name ("power", "energy", ...).
+[[nodiscard]] const char* unit_kind_name(UnitKind kind);
+
+/// Dimension implied by an identifier's unit suffix (`_kw` -> kPower,
+/// `_gco2_per_kwh` -> kCarbonIntensity, ...); kUnknown when the name
+/// carries none.
+[[nodiscard]] UnitKind unit_of_identifier(std::string_view name);
+
+/// The literal suffix that matched in unit_of_identifier ("_kw"), empty
+/// when none did.  Used for the additive scale-tag check.
+[[nodiscard]] std::string_view unit_suffix_of(std::string_view name);
+
+/// Dimension algebra.  Returns the result dimension; sets *error and a
+/// message for combinations that are dimensionally wrong no matter the
+/// scale (intensity x power, price x power, energy + power, ...).
+[[nodiscard]] UnitKind unit_multiply(UnitKind a, UnitKind b);
+[[nodiscard]] UnitKind unit_divide(UnitKind a, UnitKind b);
+
+/// True when the two dimensions must not be added/compared (both known,
+/// both dimensioned, and different).
+[[nodiscard]] bool units_conflict(UnitKind a, UnitKind b);
+
+/// One units-flow violation inside a function body.
+struct UnitFinding {
+  std::size_t token = 0;  ///< anchor token index
+  std::string message;
+};
+
+/// Run the unit dataflow over one function body.  `symbols` (optional)
+/// enables call-argument checking against the callee's parameter names.
+void analyze_function_units(const std::vector<Token>& toks, const FileAst& ast,
+                            const FunctionDef& fn, const SymbolIndex* symbols,
+                            std::vector<UnitFinding>& out);
+
+}  // namespace hpcem::lint

@@ -1,14 +1,17 @@
 #include "lint/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcem::lint {
 namespace {
@@ -89,24 +92,70 @@ void LintEngine::add_source(std::string path, std::string content) {
   files_.push_back(std::move(ctx));
 }
 
-LintReport LintEngine::run(const LintConfig& config) const {
+LintReport LintEngine::run(const LintConfig& config) {
   LintReport report;
 
-  std::vector<const FileContext*> active;
-  for (const FileContext& f : files_) {
+  // The lint *report* is deterministic; this wall-clock read only feeds the
+  // throughput numbers (analysis_wall_ms / files_per_sec), never a finding.
+  // hpcem-lint: allow(no-wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<FileContext*> active;
+  for (FileContext& f : files_) {
     if (!config.excluded(f.path)) active.push_back(&f);
   }
   report.files_scanned = active.size();
 
-  // Project-scope rules see the same filtered view as per-file rules.
+  std::size_t workers = workers_;
+  if (workers == 0) {
+    workers = std::min<std::size_t>(
+        8, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  }
+  report.workers = workers;
+  ThreadPool pool(workers);
+
+  // Phase 1 (parallel): attach scope/declaration ASTs.  Each task touches
+  // only its own file, so the barrier is the only synchronisation needed.
+  for (FileContext* f : active) {
+    if (f->ast != nullptr) continue;
+    pool.submit([f] {
+      f->ast = std::make_shared<const FileAst>(parse_ast(f->tokens));
+    });
+  }
+  pool.wait_idle();
+
+  // Phase 2 (parallel): per-file rules, one diagnostics vector per file so
+  // the merge below is a deterministic file-order concatenation.
+  std::vector<std::unique_ptr<Rule>> const& rules = rules_;
+  std::vector<std::vector<Diagnostic>> per_file(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    pool.submit([&, i] {
+      for (const auto& rule : rules) {
+        if (config.rule_disabled(rule->name()) ||
+            !config.rule_selected(rule->name())) {
+          continue;
+        }
+        rule->check_file(*active[i], per_file[i]);
+      }
+    });
+  }
+  pool.wait_idle();
+
+  std::vector<Diagnostic> raw;
+  for (std::vector<Diagnostic>& v : per_file) {
+    raw.insert(raw.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+
+  // Phase 3 (serial): project-scope rules see the same filtered view.
   std::vector<FileContext> project_view;
   project_view.reserve(active.size());
   for (const FileContext* f : active) project_view.push_back(*f);
-
-  std::vector<Diagnostic> raw;
   for (const auto& rule : rules_) {
-    if (config.rule_disabled(rule->name())) continue;
-    for (const FileContext* f : active) rule->check_file(*f, raw);
+    if (config.rule_disabled(rule->name()) ||
+        !config.rule_selected(rule->name())) {
+      continue;
+    }
     rule->check_project(project_view, raw);
   }
 
@@ -126,6 +175,16 @@ LintReport LintEngine::run(const LintConfig& config) const {
     report.diagnostics.push_back(std::move(d));
   }
   std::sort(report.diagnostics.begin(), report.diagnostics.end());
+
+  // hpcem-lint: allow(no-wall-clock) — same throughput measurement as t0.
+  const auto t1 = std::chrono::steady_clock::now();
+  report.analysis_wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.files_per_sec =
+      report.analysis_wall_ms > 0.0
+          ? static_cast<double>(report.files_scanned) /
+                (report.analysis_wall_ms / 1000.0)
+          : 0.0;
   return report;
 }
 
@@ -188,6 +247,9 @@ std::string format_json(const LintReport& report) {
   doc.set("version", 1);
   doc.set("files_scanned", report.files_scanned);
   doc.set("suppressed", report.suppressed);
+  doc.set("analysis_wall_ms", report.analysis_wall_ms);
+  doc.set("files_per_sec", report.files_per_sec);
+  doc.set("workers", report.workers);
   JsonValue diags = JsonValue::array();
   for (const Diagnostic& d : report.diagnostics) {
     JsonValue entry = JsonValue::object();
@@ -200,6 +262,38 @@ std::string format_json(const LintReport& report) {
   }
   doc.set("diagnostics", std::move(diags));
   return doc.dump() + "\n";
+}
+
+std::string format_github(const LintReport& report) {
+  // Workflow-command data must escape %, CR and LF so a multi-line message
+  // cannot smuggle in a second command.
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '%') {
+        out += "%25";
+      } else if (c == '\r') {
+        out += "%0D";
+      } else if (c == '\n') {
+        out += "%0A";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics) {
+    os << "::error file=" << escape(d.path);
+    if (d.line > 0) {
+      os << ",line=" << d.line;
+      if (d.column > 0) os << ",col=" << d.column;
+    }
+    os << ",title=hpcem_lint " << escape(d.rule) << "::" << escape(d.message)
+       << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace hpcem::lint

@@ -309,11 +309,59 @@ std::vector<Token> lex(std::string_view source) {
       line_has_token = true;
       continue;
     }
-    // Punctuator.  Fuse `::` so qualified-name matching is a simple walk.
+    // Punctuator.  Fuse `::` and the common multi-char operators so rules
+    // and the scope parser can match them as single tokens.  `<<`/`>>` are
+    // deliberately NOT fused: the parser counts `<`/`>` individually for
+    // template-angle depth, and `>>` closing two template levels would
+    // otherwise be indistinguishable from a shift.
     tok.kind = TokenKind::kPunct;
     tok.text += c.advance();
-    if (tok.text == ":" && c.peek() == ':') {
-      tok.text += c.advance();
+    const char first = tok.text[0];
+    const char second = c.peek();
+    auto fuse = [&] { tok.text += c.advance(); };
+    switch (first) {
+      case ':':
+        if (second == ':') fuse();
+        break;
+      case '-':
+        if (second == '>') {
+          fuse();
+          if (c.peek() == '*') fuse();  // ->*
+        } else if (second == '-' || second == '=') {
+          fuse();
+        }
+        break;
+      case '+':
+        if (second == '+' || second == '=') fuse();
+        break;
+      case '=':
+      case '!':
+      case '*':
+      case '/':
+      case '%':
+      case '^':
+        if (second == '=') fuse();
+        break;
+      case '<':
+        if (second == '=') fuse();  // <= (but never <<)
+        break;
+      case '>':
+        if (second == '=') fuse();  // >= (but never >>)
+        break;
+      case '&':
+        if (second == '&' || second == '=') fuse();
+        break;
+      case '|':
+        if (second == '|' || second == '=') fuse();
+        break;
+      case '.':
+        if (second == '.' && c.peek(1) == '.') {
+          fuse();
+          fuse();  // ...
+        }
+        break;
+      default:
+        break;
     }
     tokens.push_back(std::move(tok));
     line_has_token = true;

@@ -16,7 +16,10 @@
 //   - a preprocessor directive (with backslash continuations spliced)
 //     becomes one Preprocessor token holding the directive text,
 //   - `::` is fused into a single punctuator so rules can match qualified
-//     names by walking alternating Identifier / `::` tokens.
+//     names by walking alternating Identifier / `::` tokens,
+//   - common multi-char operators (`->`, `==`, `+=`, `&&`, `...`, ...) are
+//     fused so rules and the scope parser see them as one token; `<<`/`>>`
+//     stay split so template-angle depth can be counted per character.
 #pragma once
 
 #include <cstddef>
@@ -34,7 +37,7 @@ enum class TokenKind {
   kCharLiteral,   ///< 'x' including escapes
   kComment,       ///< // to end of line, or /* ... */ (text includes markers)
   kPreprocessor,  ///< whole directive, continuations spliced, '#' included
-  kPunct,         ///< single punctuator; `::` fused into one token
+  kPunct,         ///< punctuator; `::`/`->`/`==`/... fused, `<<`/`>>` split
 };
 
 struct Token {

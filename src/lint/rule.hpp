@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/ast.hpp"
 #include "lint/diagnostic.hpp"
 #include "lint/lexer.hpp"
 
@@ -23,6 +24,9 @@ struct FileContext {
   std::string path;           ///< repo-relative, '/'-separated
   std::string content;        ///< raw text (rules rarely need it)
   std::vector<Token> tokens;  ///< from lex(content)
+  /// Scope/declaration structure, attached by the engine before any rule
+  /// runs (shared so copies of the context stay cheap).
+  std::shared_ptr<const FileAst> ast;
 
   [[nodiscard]] bool is_header() const {
     return ends_with(".hpp") || ends_with(".h");
@@ -66,5 +70,9 @@ class Rule {
 
 /// The built-in rule set, in catalogue order.
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// The semantic rule family (units-flow, determinism-flow, lock-discipline)
+/// from rules_semantic.cpp; default_rules() appends these.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> semantic_rules();
 
 }  // namespace hpcem::lint

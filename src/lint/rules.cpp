@@ -439,15 +439,11 @@ class NoSwallowedCatchRule final : public Rule {
       if (!toks[i].is_identifier("catch")) continue;
       std::size_t j = next_code(toks, i);
       if (j >= toks.size() || !toks[j].is_punct("(")) continue;
-      // catch (...) — the lexer emits three '.' puncts.
-      std::size_t dots = 0;
-      std::size_t k = j;
-      while (true) {
-        k = next_code(toks, k);
-        if (k >= toks.size() || !toks[k].is_punct(".")) break;
-        ++dots;
-      }
-      if (dots != 3 || k >= toks.size() || !toks[k].is_punct(")")) continue;
+      // catch (...) — the lexer fuses the ellipsis into one '...' token.
+      std::size_t k = next_code(toks, j);
+      if (k >= toks.size() || !toks[k].is_punct("...")) continue;
+      k = next_code(toks, k);
+      if (k >= toks.size() || !toks[k].is_punct(")")) continue;
       std::size_t body = next_code(toks, k);
       if (body >= toks.size() || !toks[body].is_punct("{")) continue;
       // Scan the brace-matched body for evidence the exception is handled.
@@ -818,6 +814,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<NoIncludeCycleRule>());
   rules.push_back(std::make_unique<ServeObsInstrumentationRule>());
   rules.push_back(std::make_unique<ScenarioInDataRule>());
+  for (auto& rule : semantic_rules()) rules.push_back(std::move(rule));
   return rules;
 }
 

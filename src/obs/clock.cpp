@@ -11,6 +11,9 @@ namespace hpcem::obs {
 namespace detail {
 
 std::uint64_t wall_now_ns() {
+  // hpcem-lint: sanctioned-source(determinism-flow) — observability-only
+  // timing; values feed spans/histograms, never a RunArtifact field, and
+  // obs output is disabled in deterministic runs (HPCEM_OBS gate).
   static const std::chrono::steady_clock::time_point anchor =
       std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(

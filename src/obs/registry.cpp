@@ -34,11 +34,14 @@ struct MetricDesc {
 struct Registry {
   std::mutex mu;
   /// deque: interning must not invalidate name_of() references.
-  std::deque<std::string> names;
+  std::deque<std::string> names;  // hpcem: guarded_by(mu)
+  // hpcem: guarded_by(mu)
   std::map<std::string, NameId, std::less<>> name_ids;
-  std::deque<MetricDesc> metrics;
+  std::deque<MetricDesc> metrics;  // hpcem: guarded_by(mu)
+  // hpcem: guarded_by(mu)
   std::map<std::string, MetricId, std::less<>> metric_ids;
   /// Owned here so a worker thread's data outlives the thread.
+  // hpcem: guarded_by(mu)
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
 };
 

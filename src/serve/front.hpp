@@ -106,8 +106,8 @@ class ServeFront {
   struct InFlight {
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    std::string result;
+    bool done = false;        // hpcem: guarded_by(mu)
+    std::string result;       // hpcem: guarded_by(mu)
   };
 
   QueryEngine engine_;
@@ -115,12 +115,13 @@ class ServeFront {
   std::optional<ResultCache> cache_;
 
   std::mutex inflight_mu_;
+  // hpcem: guarded_by(inflight_mu_)
   std::map<std::string, std::shared_ptr<InFlight>> inflight_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::size_t queue_depth_ = 0;
-  std::size_t peak_queue_depth_ = 0;
+  std::size_t queue_depth_ = 0;       // hpcem: guarded_by(queue_mu_)
+  std::size_t peak_queue_depth_ = 0;  // hpcem: guarded_by(queue_mu_)
   std::size_t max_queue_;
 
   std::atomic<std::uint64_t> requests_{0};

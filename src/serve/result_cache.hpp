@@ -62,10 +62,13 @@ class ResultCache {
   struct Shard {
     std::mutex mu;
     /// Most-recently-used at the front.
+    // hpcem: guarded_by(mu)
     std::list<std::pair<std::string, std::string>> lru;
+    /// Keys view into the list nodes (stable addresses).
+    // hpcem: guarded_by(mu)
     std::map<std::string_view,
              std::list<std::pair<std::string, std::string>>::iterator>
-        index;  ///< keys view into the list nodes (stable addresses)
+        index;
   };
 
   Shard& shard_for(std::string_view key);

@@ -47,12 +47,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> threads_;
+  // hpcem: guarded_by(mu_)
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   ///< signals workers: task or shutdown
   std::condition_variable idle_cv_;   ///< signals waiters: pool went idle
-  std::size_t active_ = 0;            ///< tasks currently executing
-  bool stopping_ = false;
+  std::size_t active_ = 0;            // hpcem: guarded_by(mu_)
+  bool stopping_ = false;             // hpcem: guarded_by(mu_)
 };
 
 }  // namespace hpcem

@@ -1,0 +1,11 @@
+// Canary: an artifact-emitting function fed (transitively) by a
+// wall-clock read must trip determinism-flow.
+double stamp_ns() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+double jitter() { return stamp_ns() * 0.5; }
+RunArtifact canary() {
+  RunArtifact artifact;
+  artifact.total_kwh = jitter();
+  return artifact;
+}

@@ -1,0 +1,2 @@
+// Canary: a header without #pragma once must trip header-pragma-once.
+int canary();

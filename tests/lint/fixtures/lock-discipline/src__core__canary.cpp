@@ -1,0 +1,10 @@
+// Canary: touching a guarded_by field without holding its mutex must
+// trip lock-discipline.
+class Canary {
+ public:
+  void unlocked_touch() { n_ = n_ + 1; }
+
+ private:
+  std::mutex mu_;
+  std::size_t n_ = 0;  // hpcem: guarded_by(mu_)
+};

@@ -1,0 +1,4 @@
+// Canary (with cycle_b.hpp): a quoted-include cycle must trip
+// no-include-cycle.
+#pragma once
+#include "core/cycle_b.hpp"

@@ -1,0 +1,4 @@
+// Canary (with cycle_a.hpp): a quoted-include cycle must trip
+// no-include-cycle.
+#pragma once
+#include "core/cycle_a.hpp"

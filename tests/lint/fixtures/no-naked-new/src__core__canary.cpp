@@ -1,0 +1,2 @@
+// Canary: a naked new must trip no-naked-new.
+int* canary() { return new int(3); }

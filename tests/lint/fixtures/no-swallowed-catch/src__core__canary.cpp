@@ -1,0 +1,7 @@
+// Canary: an empty catch (...) must trip no-swallowed-catch.
+void canary() {
+  try {
+    risky();
+  } catch (...) {
+  }
+}

@@ -1,0 +1,5 @@
+// Canary: a default-constructed engine must trip no-unseeded-random.
+void canary() {
+  std::mt19937 gen;
+  (void)gen;
+}

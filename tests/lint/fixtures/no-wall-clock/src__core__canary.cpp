@@ -1,0 +1,5 @@
+// Canary: a direct wall-clock read must trip no-wall-clock.
+void canary() {
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+}

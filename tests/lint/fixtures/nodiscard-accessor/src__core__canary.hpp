@@ -1,0 +1,10 @@
+// Canary: a value-returning const accessor without [[nodiscard]] in a
+// public header must trip nodiscard-accessor.
+#pragma once
+class Canary {
+ public:
+  int value() const { return v_; }
+
+ private:
+  int v_ = 0;
+};

@@ -1,0 +1,10 @@
+// Canary: range-for over an unordered container in an artifact-writing
+// file must trip ordered-output.
+#include <fstream>
+#include <unordered_map>
+void canary(const std::unordered_map<int, double>& totals,
+            std::ofstream& out) {
+  for (const auto& [node, kwh] : totals) {
+    out << node << ',' << kwh << '\n';
+  }
+}

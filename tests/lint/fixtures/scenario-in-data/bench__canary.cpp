@@ -1,0 +1,7 @@
+// Canary: a hand-assembled ScenarioSpec in a harness must trip
+// scenario-in-data.
+int main() {
+  ScenarioSpec spec;
+  spec.horizon_hours = 24.0;
+  return 0;
+}

@@ -1,0 +1,5 @@
+// Canary: a serving layer that never declares its contractual obs
+// instruments must trip serve-obs-instrumentation.
+namespace hpcem::serve {
+void canary() {}
+}  // namespace hpcem::serve

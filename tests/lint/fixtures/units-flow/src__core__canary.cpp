@@ -1,0 +1,6 @@
+// Canary: power assigned to an energy-suffixed local without a duration
+// multiply must trip units-flow.
+double canary(double node_power_kw) {
+  double consumed_kwh = node_power_kw;
+  return consumed_kwh;
+}

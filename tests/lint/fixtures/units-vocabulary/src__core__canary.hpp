@@ -1,0 +1,4 @@
+// Canary: a raw-double unit-suffixed parameter in a public header must
+// trip units-vocabulary.
+#pragma once
+double to_energy(double power_kw, double hours);

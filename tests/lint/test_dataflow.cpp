@@ -1,0 +1,183 @@
+// Unit dataflow (lint/dataflow.hpp): the suffix vocabulary, the dimension
+// algebra, and the per-function evaluator that units-flow is built on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/ast.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/lexer.hpp"
+
+namespace hpcem::lint {
+namespace {
+
+/// Analyze every function in `src` (no cross-TU symbol index) and return
+/// the finding messages in order.
+std::vector<std::string> analyze(const std::string& src) {
+  const std::vector<Token> toks = lex(src);
+  const FileAst ast = parse_ast(toks);
+  std::vector<std::string> messages;
+  for (const FunctionDef& fn : ast.functions) {
+    std::vector<UnitFinding> findings;
+    analyze_function_units(toks, ast, fn, nullptr, findings);
+    for (const UnitFinding& f : findings) messages.push_back(f.message);
+  }
+  return messages;
+}
+
+bool any_contains(const std::vector<std::string>& messages,
+                  std::string_view needle) {
+  for (const std::string& m : messages) {
+    if (m.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- vocabulary
+TEST(LintUnits, SuffixVocabulary) {
+  EXPECT_EQ(unit_of_identifier("node_power_kw"), UnitKind::kPower);
+  EXPECT_EQ(unit_of_identifier("total_kwh"), UnitKind::kEnergy);
+  EXPECT_EQ(unit_of_identifier("window_hours"), UnitKind::kDuration);
+  EXPECT_EQ(unit_of_identifier("clock_ghz"), UnitKind::kFrequency);
+  EXPECT_EQ(unit_of_identifier("cost_gbp"), UnitKind::kCost);
+  EXPECT_EQ(unit_of_identifier("tariff_gbp_per_kwh"), UnitKind::kPrice);
+  EXPECT_EQ(unit_of_identifier("emitted_gco2"), UnitKind::kCarbonMass);
+  EXPECT_EQ(unit_of_identifier("intensity_gco2_per_kwh"),
+            UnitKind::kCarbonIntensity);
+  // Mass per energy is an intensity even without a gco2 marker.
+  EXPECT_EQ(unit_of_identifier("g_per_kwh"), UnitKind::kCarbonIntensity);
+  EXPECT_EQ(unit_of_identifier("factor_kg_per_kwh"),
+            UnitKind::kCarbonIntensity);
+  // Case-insensitive: the UDL spelling _gCO2kWh is an intensity.
+  EXPECT_EQ(unit_of_identifier("_gCO2kWh"), UnitKind::kCarbonIntensity);
+  EXPECT_EQ(unit_of_identifier("plain_name"), UnitKind::kUnknown);
+  EXPECT_EQ(unit_of_identifier("kwh"), UnitKind::kUnknown);  // bare suffix
+}
+
+// ----------------------------------------------------------------- algebra
+TEST(LintUnits, MultiplicationAlgebra) {
+  EXPECT_EQ(unit_multiply(UnitKind::kPower, UnitKind::kDuration),
+            UnitKind::kEnergy);
+  EXPECT_EQ(unit_multiply(UnitKind::kDuration, UnitKind::kPower),
+            UnitKind::kEnergy);
+  EXPECT_EQ(unit_multiply(UnitKind::kCarbonIntensity, UnitKind::kEnergy),
+            UnitKind::kCarbonMass);
+  EXPECT_EQ(unit_multiply(UnitKind::kPrice, UnitKind::kEnergy),
+            UnitKind::kCost);
+  EXPECT_EQ(unit_multiply(UnitKind::kScalar, UnitKind::kPower),
+            UnitKind::kPower);
+}
+
+TEST(LintUnits, DivisionAlgebra) {
+  EXPECT_EQ(unit_divide(UnitKind::kEnergy, UnitKind::kDuration),
+            UnitKind::kPower);
+  EXPECT_EQ(unit_divide(UnitKind::kEnergy, UnitKind::kPower),
+            UnitKind::kDuration);
+  EXPECT_EQ(unit_divide(UnitKind::kCarbonMass, UnitKind::kEnergy),
+            UnitKind::kCarbonIntensity);
+  EXPECT_EQ(unit_divide(UnitKind::kCarbonMass, UnitKind::kCarbonIntensity),
+            UnitKind::kEnergy);
+  EXPECT_EQ(unit_divide(UnitKind::kCost, UnitKind::kEnergy),
+            UnitKind::kPrice);
+  EXPECT_EQ(unit_divide(UnitKind::kEnergy, UnitKind::kEnergy),
+            UnitKind::kScalar);
+}
+
+TEST(LintUnits, ConflictRequiresTwoKnownDistinctDimensions) {
+  EXPECT_TRUE(units_conflict(UnitKind::kPower, UnitKind::kEnergy));
+  EXPECT_FALSE(units_conflict(UnitKind::kPower, UnitKind::kPower));
+  EXPECT_FALSE(units_conflict(UnitKind::kUnknown, UnitKind::kEnergy));
+  EXPECT_FALSE(units_conflict(UnitKind::kScalar, UnitKind::kEnergy));
+}
+
+// --------------------------------------------------------------- evaluator
+TEST(LintUnitsFlow, PowerAsEnergyInInitializer) {
+  const auto messages = analyze(
+      "void f(double node_kw) {\n"
+      "  double total_kwh = node_kw;\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "power used as energy"));
+}
+
+TEST(LintUnitsFlow, PowerTimesDurationIsClean) {
+  const auto messages = analyze(
+      "void f(double node_kw, double window_hours) {\n"
+      "  double total_kwh = node_kw * window_hours;\n"
+      "  double back_kw = total_kwh / window_hours;\n"
+      "}\n");
+  EXPECT_TRUE(messages.empty());
+}
+
+TEST(LintUnitsFlow, IntensityTimesPowerFlagged) {
+  const auto messages = analyze(
+      "void f(double grid_gco2_per_kwh, double node_kw) {\n"
+      "  double bad = grid_gco2_per_kwh * node_kw;\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "carbon intensity applied to power"));
+}
+
+TEST(LintUnitsFlow, IntensityTimesEnergyIsClean) {
+  const auto messages = analyze(
+      "void f(double grid_gco2_per_kwh, double used_kwh) {\n"
+      "  double mass_gco2 = grid_gco2_per_kwh * used_kwh;\n"
+      "}\n");
+  EXPECT_TRUE(messages.empty());
+}
+
+TEST(LintUnitsFlow, MixedUnitAccumulationFlagged) {
+  const auto messages = analyze(
+      "void f(double total_kwh, double spike_kw) {\n"
+      "  total_kwh += spike_kw;\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "mixed-unit accumulation"));
+}
+
+TEST(LintUnitsFlow, DefUsePropagatesThroughLocals) {
+  // `draw` has no suffix; its dimension comes from the initializer and
+  // must still trip the check two statements later.
+  const auto messages = analyze(
+      "void f(double node_kw) {\n"
+      "  double draw = node_kw;\n"
+      "  double total_kwh = draw;\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "power used as energy"));
+}
+
+TEST(LintUnitsFlow, ReturnDimensionCheckedAgainstFunctionName) {
+  const auto messages = analyze(
+      "double total_kwh(double node_kw) {\n"
+      "  return node_kw;\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "named with a energy suffix"));
+}
+
+TEST(LintUnitsFlow, AtUnitNamesDescribeAParameterNotTheReturn) {
+  // `draw_at_ghz` means "the draw, at this frequency" — the suffix names
+  // the parameter, so a power return is correct, not a finding.
+  const auto messages = analyze(
+      "double draw_at_ghz(double idle_w, double ghz) {\n"
+      "  return idle_w;\n"
+      "}\n");
+  EXPECT_TRUE(messages.empty());
+}
+
+TEST(LintUnitsFlow, PassthroughMembersKeepTheReceiverDimension) {
+  const auto messages = analyze(
+      "void f() {\n"
+      "  std::atomic<double> total_kwh{0.0};\n"
+      "  double spill_kw = total_kwh.load();\n"
+      "}\n");
+  EXPECT_TRUE(any_contains(messages, "initialized from a energy"));
+}
+
+TEST(LintUnitsFlow, UnknownNamesStaySilent) {
+  const auto messages = analyze(
+      "void f(double a, double b) {\n"
+      "  double c = a * b + 3.0;\n"
+      "}\n");
+  EXPECT_TRUE(messages.empty());
+}
+
+}  // namespace
+}  // namespace hpcem::lint

@@ -161,5 +161,69 @@ TEST(LintLexer, EmptyAndWhitespaceOnlyInput) {
   EXPECT_TRUE(lex("  \n\t \n").empty());
 }
 
+TEST(LintLexer, HexFloatWithFractionAndSeparators) {
+  const auto toks = lex("0x1.8p-3 0xFF'FFu 0b1010'0001 1'000.5");
+  const auto nums = of_kind(toks, TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 4u);
+  EXPECT_EQ(nums[0].text, "0x1.8p-3");
+  EXPECT_EQ(nums[1].text, "0xFF'FFu");
+  EXPECT_EQ(nums[2].text, "0b1010'0001");
+  EXPECT_EQ(nums[3].text, "1'000.5");
+}
+
+TEST(LintLexer, IntegerAndStringUdlSuffixes) {
+  const auto toks = lex("auto p = 150_kW; auto s = \"x\"_sv;");
+  const auto nums = of_kind(toks, TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0].text, "150_kW");
+  // A string UDL keeps its literal token; the suffix may tokenize
+  // separately but must not corrupt the literal body.
+  const auto strs = of_kind(toks, TokenKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0].text.rfind("\"x\"", 0), 0u);
+}
+
+TEST(LintLexer, RawStringDelimiterInsideMacroArgument) {
+  // The raw-string close sequence )delim" must be honoured even when the
+  // literal sits inside a macro invocation full of parens and commas.
+  const auto toks =
+      lex("CHECK(parse(R\"json({\"a\": [1, 2)]})json\"), other);");
+  const auto raws = of_kind(toks, TokenKind::kRawString);
+  ASSERT_EQ(raws.size(), 1u);
+  EXPECT_NE(raws[0].text.find("[1, 2)]"), std::string::npos);
+  // The macro's own structure survives around it.
+  std::size_t commas = 0;
+  for (const Token& t : toks) {
+    if (t.is_punct(",")) ++commas;
+  }
+  EXPECT_EQ(commas, 1u);  // only the macro-argument comma is code
+}
+
+TEST(LintLexer, FusesMultiCharOperators) {
+  const auto toks = lex("a->b ->* ++x != <= && || += ... a::b");
+  std::vector<std::string> puncts;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kPunct) puncts.push_back(t.text);
+  }
+  const std::vector<std::string> expected = {"->", "->*", "++", "!=", "<=",
+                                             "&&", "||",  "+=", "...", "::"};
+  EXPECT_EQ(puncts, expected);
+}
+
+TEST(LintLexer, ShiftOperatorsStaySplitForTemplateAngles) {
+  // `>>` must lex as two '>' so nested template argument lists close
+  // correctly; the AST layer counts angle depth per character.
+  const auto toks = lex("std::map<int, std::vector<int>> m; out << x;");
+  std::size_t single_gt = 0;
+  std::size_t single_lt = 0;
+  for (const Token& t : toks) {
+    if (t.is_punct(">")) ++single_gt;
+    if (t.is_punct("<")) ++single_lt;
+    EXPECT_FALSE(t.is_punct(">>"));
+  }
+  EXPECT_EQ(single_gt, 2u);
+  EXPECT_EQ(single_lt, 4u);  // two template opens + two stream inserts
+}
+
 }  // namespace
 }  // namespace hpcem::lint

@@ -27,7 +27,12 @@ int run(int argc, const char* const* argv) {
   args.add_option("config", "",
                   "path to a .hpcemlint config (default: <root>/.hpcemlint "
                   "when present)");
-  args.add_option("format", "text", "report format: text or json");
+  args.add_option("format", "text", "report format: text, json or github");
+  args.add_option("rule", "",
+                  "comma-separated rule names to run exclusively "
+                  "(default: the full catalogue)");
+  args.add_option("jobs", "0",
+                  "worker threads for per-file analysis (0 = auto)");
   args.add_flag("list-rules", "print the rule catalogue and exit");
   args.allow_positionals("path",
                          "files or directories to lint, relative to --root");
@@ -43,9 +48,9 @@ int run(int argc, const char* const* argv) {
   }
 
   const std::string format = args.get("format");
-  if (format != "text" && format != "json") {
-    std::cerr << "error: --format must be text or json, got: " << format
-              << '\n';
+  if (format != "text" && format != "json" && format != "github") {
+    std::cerr << "error: --format must be text, json or github, got: "
+              << format << '\n';
     return 2;
   }
 
@@ -69,6 +74,26 @@ int run(int argc, const char* const* argv) {
     }
   }
 
+  const std::string rule_list = args.get("rule");
+  if (!rule_list.empty()) {
+    std::string current;
+    for (std::size_t i = 0; i <= rule_list.size(); ++i) {
+      if (i == rule_list.size() || rule_list[i] == ',') {
+        if (!current.empty()) config.only_rules.push_back(current);
+        current.clear();
+      } else if (rule_list[i] != ' ') {
+        current += rule_list[i];
+      }
+    }
+    for (const std::string& rule : config.only_rules) {
+      hpcem::require(engine.has_rule(rule),
+                     "--rule selects unknown rule '" + rule + "'");
+    }
+  }
+  const long jobs = args.get_int("jobs");
+  hpcem::require(jobs >= 0, "--jobs must be >= 0");
+  engine.set_workers(static_cast<std::size_t>(jobs));
+
   std::vector<std::string> targets = args.positionals();
   if (targets.empty()) targets = {"src", "tools", "bench", "examples"};
   const std::vector<std::string> sources =
@@ -80,8 +105,13 @@ int run(int argc, const char* const* argv) {
   }
 
   const hpcem::lint::LintReport report = engine.run(config);
-  std::cout << (format == "json" ? hpcem::lint::format_json(report)
-                                 : hpcem::lint::format_text(report));
+  if (format == "json") {
+    std::cout << hpcem::lint::format_json(report);
+  } else if (format == "github") {
+    std::cout << hpcem::lint::format_github(report);
+  } else {
+    std::cout << hpcem::lint::format_text(report);
+  }
   return report.clean() ? 0 : 1;
 }
 
