@@ -10,6 +10,11 @@
 // p50/p99 latency per phase, plus the cached/cold speedup — the number the
 // serve-smoke CI job uploads as a perf point (BENCH_serve_load.json).
 //
+// Obs collection is on by default (--no-obs for a clean A/B): each phase
+// resets the collected shards and reports the serve tier's own per-query-
+// kind latency distributions (serve.query.*.ns p50/p95/p99) next to the
+// client-side percentiles.
+//
 // Examples:
 //   bench_serve_load                                    # synthetic store
 //   bench_serve_load --store bench/baselines/serve --threads 8
@@ -19,10 +24,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/stats.hpp"
 #include "serve/front.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -131,6 +138,9 @@ struct PhaseResult {
   double rps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  /// Server-side per-query-kind latency histograms (serve.query.*.ns),
+  /// populated when obs collection is on.
+  std::vector<obs::HistogramStats> query_kinds;
 };
 
 double percentile_us(std::vector<std::uint64_t>& ns, double q) {
@@ -149,6 +159,9 @@ PhaseResult run_phase(const serve::ArtifactStore& store,
                       serve::ServeOptions options,
                       const std::vector<std::string>& requests,
                       std::size_t threads, std::size_t passes) {
+  // Fresh obs shards per phase, so the per-kind histograms below describe
+  // exactly this phase's traffic.
+  obs::reset_collected();
   serve::ServeFront front(store, options);
   // Per-thread latency vectors: no shared mutable state inside the loop.
   std::vector<std::vector<std::uint64_t>> latencies(threads);
@@ -186,6 +199,16 @@ PhaseResult run_phase(const serve::ArtifactStore& store,
                           : 0.0;
   r.p50_us = percentile_us(all, 0.50);
   r.p99_us = percentile_us(all, 0.99);
+  if (obs::enabled()) {
+    // Clients are joined: the shards are quiescent, the merge exact.
+    const obs::StatsSnapshot snap = obs::StatsRegistry::snapshot();
+    for (const obs::HistogramStats& h : snap.histograms) {
+      constexpr std::string_view kPrefix = "serve.query.";
+      if (h.name.rfind(kPrefix, 0) == 0 && h.count > 0) {
+        r.query_kinds.push_back(h);
+      }
+    }
+  }
   return r;
 }
 
@@ -199,6 +222,22 @@ JsonValue phase_json(const std::string& name, const PhaseResult& r) {
   o.set("requests_per_second", r.rps);
   o.set("p50_us", r.p50_us);
   o.set("p99_us", r.p99_us);
+  JsonValue kinds = JsonValue::array();
+  for (const obs::HistogramStats& h : r.query_kinds) {
+    // "serve.query.whatif.ns" -> "whatif"; histograms record ns, the
+    // report speaks microseconds like the client-side percentiles.
+    std::string kind = h.name.substr(std::string("serve.query.").size());
+    const std::size_t dot = kind.rfind(".ns");
+    if (dot != std::string::npos) kind.resize(dot);
+    JsonValue k = JsonValue::object();
+    k.set("kind", kind);
+    k.set("count", static_cast<std::size_t>(h.count));
+    k.set("p50_us", h.p50 / 1e3);
+    k.set("p95_us", h.p95 / 1e3);
+    k.set("p99_us", h.p99 / 1e3);
+    kinds.push_back(std::move(k));
+  }
+  o.set("query_kinds", std::move(kinds));
   return o;
 }
 
@@ -215,10 +254,15 @@ int main(int argc, char** argv) {
   args.add_option("passes", "6", "passes over the working set per thread");
   args.add_option("samples", "4096", "synthetic store series length");
   args.add_option("out", "BENCH_serve_load.json", "JSON report path");
+  args.add_flag("no-obs",
+                "disable obs collection (drops the per-query-kind latency "
+                "section; for telemetry-overhead A/B runs)");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << '\n' << args.usage();
     return args.error().empty() ? 0 : 2;
   }
+
+  if (!args.get_flag("no-obs")) obs::set_enabled(true);
 
   serve::ArtifactStore store;
   if (args.get("store").empty()) {
@@ -271,7 +315,7 @@ int main(int argc, char** argv) {
             << "cached speedup: " << speedup << "x\n";
 
   JsonValue report = JsonValue::object();
-  report.set("schema", "hpcem.bench_serve_load.v1");
+  report.set("schema", "hpcem.bench_serve_load.v2");
   report.set("threads", threads);
   report.set("passes", passes);
   report.set("working_set", requests.size());

@@ -695,28 +695,53 @@ class ServeObsInstrumentationRule final : public Rule {
   }
   [[nodiscard]] std::string_view description() const override {
     return "src/serve must keep its contractual obs instruments: the "
-           "serve.request span plus the serve.cache.hit, serve.cache.miss "
-           "and serve.queue.depth counters/gauges";
+           "serve.cache.hit/serve.cache.miss/serve.queue.depth counters "
+           "and gauges, plus a *request-scoped* span "
+           "(HPCEM_OBS_REQUEST_SPAN) in every request/query handler — a "
+           "bare HPCEM_OBS_SPAN drops the record from request traces and "
+           "postmortems";
   }
   void check_project(const std::vector<FileContext>& files,
                      std::vector<Diagnostic>& out) const override {
     static constexpr std::array kRequired = {
         "serve.request", "serve.cache.hit", "serve.cache.miss",
         "serve.queue.depth"};
+    // Handler spans must be request-scoped: only the literal macro
+    // invocation HPCEM_OBS_REQUEST_SPAN("<name>") counts, so the record
+    // lands in the flight ring tagged with the current request id.
+    static constexpr std::array kRequestSpans = {
+        "serve.request",        "serve.query.list",
+        "serve.query.window_aggregate", "serve.query.regimes",
+        "serve.query.compare",  "serve.query.whatif"};
     std::string anchor;
     std::set<std::string> declared;
+    std::set<std::string> request_spanned;
     for (const FileContext& f : files) {
       if (!f.in_dir("src/serve/")) continue;
       if (anchor.empty() || f.path < anchor) anchor = f.path;
-      for (const Token& t : f.tokens) {
-        if (t.kind != TokenKind::kString && t.kind != TokenKind::kRawString) {
+      const Tokens& toks = f.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind == TokenKind::kString || t.kind == TokenKind::kRawString) {
+          for (const char* required : kRequired) {
+            // Exact quoted spelling: "serve.request.ns" must not satisfy
+            // the "serve.request" span requirement.
+            if (t.text == '"' + std::string(required) + '"') {
+              declared.insert(required);
+            }
+          }
           continue;
         }
-        for (const char* required : kRequired) {
-          // Exact quoted spelling: "serve.request.ns" must not satisfy the
-          // "serve.request" span requirement.
-          if (t.text == '"' + std::string(required) + '"') {
-            declared.insert(required);
+        if (!t.is_identifier("HPCEM_OBS_REQUEST_SPAN")) continue;
+        const std::size_t j = next_code(toks, i);
+        const std::size_t k = j < toks.size() ? next_code(toks, j) : j;
+        if (j >= toks.size() || !toks[j].is_punct("(") || k >= toks.size() ||
+            toks[k].kind != TokenKind::kString) {
+          continue;
+        }
+        for (const char* span : kRequestSpans) {
+          if (toks[k].text == '"' + std::string(span) + '"') {
+            request_spanned.insert(span);
           }
         }
       }
@@ -730,6 +755,17 @@ class ServeObsInstrumentationRule final : public Rule {
               std::string(required) +
               "\"; the serving layer's spans/counters are contractual "
               "(see DESIGN.md, serving layer)"});
+    }
+    for (const char* span : kRequestSpans) {
+      if (request_spanned.contains(span)) continue;
+      out.push_back(Diagnostic{
+          std::string(name()), anchor, 0, 0,
+          "src/serve never opens the request-scoped span "
+          "HPCEM_OBS_REQUEST_SPAN(\"" +
+              std::string(span) +
+              "\"); handler spans must be request-scoped so they appear "
+              "in request traces and postmortems (a bare HPCEM_OBS_SPAN "
+              "does not count)"});
     }
   }
 };

@@ -4,6 +4,29 @@
 
 namespace hpcem::obs {
 
+namespace {
+
+/// "serve.cache.hit" -> "hpcem_serve_cache_hit" (Prometheus name charset
+/// is [a-zA-Z0-9_:]; we map everything else to '_').
+std::string prometheus_name(const std::string& name) {
+  std::string out = "hpcem_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void help_and_type(std::string& out, const std::string& pname,
+                   const std::string& unit, const char* type) {
+  out += "# HELP " + pname + " unit: " + (unit.empty() ? "none" : unit) +
+         "\n";
+  out += "# TYPE " + pname + " " + type + "\n";
+}
+
+}  // namespace
+
 JsonValue metrics_json(const MetricsSnapshot& snap) {
   JsonValue doc = JsonValue::object();
   doc.set("schema", "hpcem.obs_metrics");
@@ -88,6 +111,39 @@ MetricsSnapshot metrics_from_json(const JsonValue& v) {
     snap.histograms.push_back(std::move(hv));
   }
   return snap;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string pname = prometheus_name(c.name) + "_total";
+    help_and_type(out, pname, c.unit, "counter");
+    out += pname + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string pname = prometheus_name(g.name);
+    help_and_type(out, pname, g.unit, "gauge");
+    out += pname + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string pname = prometheus_name(h.name);
+    help_and_type(out, pname, h.unit, "histogram");
+    std::uint64_t cum = 0;
+    for (const auto& [bit, count] : h.buckets) {
+      cum += count;
+      // Log2 bucket `bit` holds values <= 2^bit - 1 (bit 0 holds only 0).
+      const std::uint64_t upper =
+          bit == 0 ? 0
+                   : (bit >= 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << bit) - 1);
+      out += pname + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += pname + "_sum " + std::to_string(h.sum) + "\n";
+    out += pname + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 }  // namespace hpcem::obs

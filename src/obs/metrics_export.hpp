@@ -26,4 +26,14 @@ inline constexpr int kMetricsSchemaVersion = 1;
 /// Throws ParseError on malformed input.
 [[nodiscard]] MetricsSnapshot metrics_from_json(const JsonValue& v);
 
+/// Prometheus text exposition (format version 0.0.4) of a merged
+/// snapshot, so a running service can be scraped.  Metric names are
+/// prefixed "hpcem_" with non-alphanumeric characters mapped to '_'
+/// (serve.cache.hit -> hpcem_serve_cache_hit_total); counters gain the
+/// conventional "_total" suffix and histograms emit cumulative
+/// "_bucket{le=...}" lines at their occupied log2 upper bounds plus
+/// "+Inf", "_sum" and "_count".  Deterministic: name-ordered input in,
+/// the same bytes out.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snap);
+
 }  // namespace hpcem::obs

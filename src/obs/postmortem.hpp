@@ -1,0 +1,45 @@
+// Postmortem export: the flight recorder's crash-dump document.
+//
+// When the serving front sees a query error or a latency-threshold
+// breach, it snapshots every thread's flight ring and writes this
+// deterministic JSON artifact — the last kFlightRingSlots records per
+// thread, each tagged with the request id it served:
+//
+//   {"schema": "hpcem.postmortem", "schema_version": 1,
+//    "deterministic": <bool>,
+//    "trigger": {"reason", "request", "elapsed", "threshold"},
+//    "threads": [{"label",
+//                 "records": [{"name", "kind", "request",
+//                              "begin", "end"}...]}...]}
+//
+// "kind" is "span" (begin/end stamps) or "instant" (begin = stamp, end =
+// the event's auxiliary word).  In deterministic mode the whole document
+// is byte-stable for a given request sequence; `hpcem_prof --postmortem`
+// renders it.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace hpcem::obs {
+
+inline constexpr int kPostmortemSchemaVersion = 1;
+
+/// Why a postmortem was dumped.
+struct PostmortemTrigger {
+  std::string reason;           ///< "query_error" | "latency_threshold"
+  std::uint64_t request = 0;    ///< the triggering request id
+  std::uint64_t elapsed = 0;    ///< its latency (ns, or ticks)
+  std::uint64_t threshold = 0;  ///< configured breach threshold (0 = none)
+};
+
+[[nodiscard]] JsonValue postmortem_json(const PostmortemTrigger& trigger,
+                                        const FlightSnapshot& snap);
+
+/// Serialize and write the postmortem document to `path` (overwriting).
+/// Throws StateError when the file cannot be written.
+void write_postmortem_file(const PostmortemTrigger& trigger,
+                           const FlightSnapshot& snap,
+                           const std::string& path);
+
+}  // namespace hpcem::obs

@@ -153,6 +153,56 @@ TraceSnapshot trace_snapshot() {
   return snap;
 }
 
+FlightSnapshot flight_snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  FlightSnapshot snap;
+  snap.deterministic = deterministic();
+  for (const auto& buf : r.buffers) {
+    const FlightRing& ring = buf->flight;
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    if (head == 0) continue;
+    const std::uint64_t first =
+        head > kFlightRingSlots ? head - kFlightRingSlots : 0;
+    FlightThreadTrace trace;
+    trace.label = buf->label;
+    trace.records.reserve(static_cast<std::size_t>(head - first));
+    for (std::uint64_t seq = first; seq < head; ++seq) {
+      const FlightSlot& slot = ring.slots[seq & (kFlightRingSlots - 1)];
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      if (meta == 0) continue;  // overwritten mid-reset; skip
+      FlightRecord rec;
+      rec.kind = static_cast<FlightKind>((meta & 0xff) - 1);
+      rec.name = r.names[static_cast<NameId>(meta >> 8)];
+      rec.request = slot.request.load(std::memory_order_relaxed);
+      rec.begin = slot.begin.load(std::memory_order_relaxed);
+      rec.end = slot.end.load(std::memory_order_relaxed);
+      trace.records.push_back(std::move(rec));
+    }
+    if (trace.records.empty()) continue;
+    snap.threads.push_back(std::move(trace));
+  }
+  // Deterministic thread order: by label, then by the record sequence
+  // itself (ties between identically-labelled threads).
+  const auto rec_key = [](const FlightRecord& rec) {
+    return std::tuple<const std::string&, std::uint64_t, std::uint64_t,
+                      std::uint64_t, int>(rec.name, rec.request, rec.begin,
+                                          rec.end,
+                                          static_cast<int>(rec.kind));
+  };
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [&](const FlightThreadTrace& a, const FlightThreadTrace& b) {
+              if (a.label != b.label) return a.label < b.label;
+              return std::lexicographical_compare(
+                  a.records.begin(), a.records.end(), b.records.begin(),
+                  b.records.end(),
+                  [&](const FlightRecord& x, const FlightRecord& y) {
+                    return rec_key(x) < rec_key(y);
+                  });
+            });
+  return snap;
+}
+
 MetricsSnapshot metrics_snapshot() {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mu);
@@ -173,15 +223,7 @@ MetricsSnapshot metrics_snapshot() {
       gauges[i] = std::max(gauges[i], buf->gauges[i]);
     }
     for (std::size_t i = 0; i < buf->histograms.size(); ++i) {
-      const HistogramShard& shard = buf->histograms[i];
-      HistogramShard& merged = hists[i];
-      merged.count += shard.count;
-      merged.sum += shard.sum;
-      merged.min = std::min(merged.min, shard.min);
-      merged.max = std::max(merged.max, shard.max);
-      for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
-        merged.buckets[b] += shard.buckets[b];
-      }
+      merge_shard(hists[i], buf->histograms[i]);
     }
   }
 
@@ -227,6 +269,13 @@ void reset_collected() {
     buf->counters.clear();
     buf->gauges.clear();
     buf->histograms.clear();
+    for (FlightSlot& slot : buf->flight.slots) {
+      slot.meta.store(0, std::memory_order_relaxed);
+      slot.request.store(0, std::memory_order_relaxed);
+      slot.begin.store(0, std::memory_order_relaxed);
+      slot.end.store(0, std::memory_order_relaxed);
+    }
+    buf->flight.head.store(0, std::memory_order_release);
   }
 }
 

@@ -97,6 +97,54 @@ struct HistogramShard {
   std::array<std::uint64_t, 65> buckets{};
 };
 
+/// Fold `src` into `dst`.  The single definition of the histogram merge,
+/// shared by every snapshot path.  An empty shard contributes nothing —
+/// in particular its `min` sentinel never leaks into `dst` — so merging
+/// {empty, single-sample} is bit-identical in either order (and any
+/// bracketing: the fold is commutative and associative).
+inline void merge_shard(HistogramShard& dst, const HistogramShard& src) {
+  if (src.count == 0) return;
+  dst.count += src.count;
+  dst.sum += src.sum;
+  if (src.min < dst.min) dst.min = src.min;
+  if (src.max > dst.max) dst.max = src.max;
+  for (std::size_t b = 0; b < src.buckets.size(); ++b) {
+    dst.buckets[b] += src.buckets[b];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: a bounded per-thread ring of recent span/event records.
+// ---------------------------------------------------------------------------
+// The postmortem substrate: each thread keeps the last kFlightRingSlots
+// records it produced, overwriting the oldest.  Appends are lock-free
+// (relaxed stores into the owning thread's ring); a snapshot may run
+// concurrently with serving, in which case a slot being overwritten at
+// that instant can read torn — acceptable for a best-effort crash dump,
+// and exact under quiescence (which is what the deterministic tests use).
+
+inline constexpr std::size_t kFlightRingSlots = 1024;  // power of two
+
+enum class FlightKind : std::uint8_t { kSpan = 0, kInstant = 1 };
+
+/// One ring slot.  All fields are relaxed atomics so a concurrent snapshot
+/// read is a data-race-free (if possibly torn) observation, not UB.
+/// `meta` packs (name << 8 | kind + 1); zero means never written.
+struct FlightSlot {
+  std::atomic<std::uint64_t> meta{0};
+  std::atomic<std::uint64_t> request{0};
+  std::atomic<std::uint64_t> begin{0};
+  /// Span close stamp, or the auxiliary word of an instant event.
+  std::atomic<std::uint64_t> end{0};
+};
+
+/// Per-thread flight ring.  `head` is the next sequence number; slot
+/// `seq & (kFlightRingSlots - 1)` holds record `seq`.
+struct FlightRing {
+  std::array<FlightSlot, kFlightRingSlots> slots;
+  std::atomic<std::uint64_t> head{0};
+};
+
 /// Per-thread collection buffer.  Owned by the registry (it outlives the
 /// thread so campaign workers' data survives the pool teardown); the
 /// owning thread appends without locks.
@@ -109,7 +157,27 @@ struct ThreadBuffer {
   std::vector<std::uint64_t> counters;
   std::vector<std::uint64_t> gauges;
   std::vector<HistogramShard> histograms;
+  /// Recent span/event records for the postmortem flight recorder.
+  FlightRing flight;
 };
+
+/// Append one record to this thread's flight ring (owning thread only).
+inline void flight_append(ThreadBuffer& tb, FlightKind kind, NameId name,
+                          std::uint64_t request, std::uint64_t begin,
+                          std::uint64_t end) {
+  FlightRing& ring = tb.flight;
+  const std::uint64_t seq = ring.head.load(std::memory_order_relaxed);
+  FlightSlot& slot = ring.slots[seq & (kFlightRingSlots - 1)];
+  slot.meta.store((std::uint64_t{name} << 8) |
+                      (static_cast<std::uint64_t>(kind) + 1),
+                  std::memory_order_relaxed);
+  slot.request.store(request, std::memory_order_relaxed);
+  slot.begin.store(begin, std::memory_order_relaxed);
+  slot.end.store(end, std::memory_order_relaxed);
+  // Publish after the fields: a snapshot that sees `seq + 1` sees the
+  // stores above (or a later overwrite of the same slot — torn, tolerated).
+  ring.head.store(seq + 1, std::memory_order_release);
+}
 
 /// This thread's buffer, created and registered on first use.
 [[nodiscard]] ThreadBuffer& thread_buffer();
@@ -144,6 +212,31 @@ struct TraceSnapshot {
 };
 
 [[nodiscard]] TraceSnapshot trace_snapshot();
+
+/// One resolved flight-recorder record (names back to strings; `end` is
+/// the auxiliary word for instants).
+struct FlightRecord {
+  std::string name;
+  FlightKind kind = FlightKind::kSpan;
+  std::uint64_t request = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// The surviving ring contents of one thread, oldest record first.
+struct FlightThreadTrace {
+  std::string label;
+  std::vector<FlightRecord> records;
+};
+
+/// Every thread's recent records.  Threads are ordered deterministically
+/// by (label, record sequence), mirroring trace_snapshot().
+struct FlightSnapshot {
+  bool deterministic = false;
+  std::vector<FlightThreadTrace> threads;
+};
+
+[[nodiscard]] FlightSnapshot flight_snapshot();
 
 /// Merged metric values, each list sorted by metric name.
 struct MetricsSnapshot {

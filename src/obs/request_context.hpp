@@ -1,0 +1,59 @@
+// Request-scoped span context: the deterministic request id the serving
+// front assigns to every request, propagated implicitly through the
+// layers the request touches (front -> result cache -> artifact store ->
+// query engine) via a thread-local.
+//
+// The id is carried by RequestScope, an RAII guard that saves and
+// restores the previous id, so nested scopes (a coalesced waiter
+// recording whose evaluation it piggybacked on, an admin command issued
+// while serving) compose.  Every flight-recorder record produced while a
+// scope is active is tagged with its id, which is what makes per-request
+// trace retrieval ({"op":"trace","request":N}) and postmortem filtering
+// possible.
+//
+// Determinism: ids are assigned by the front's monotonic request counter,
+// so in deterministic mode a given request stream yields the same
+// id-tagged records for any worker count (sequential handling) — the same
+// invariance the metrics merge already guarantees.
+#pragma once
+
+#include "obs/registry.hpp"
+
+namespace hpcem::obs {
+
+namespace detail {
+/// Current request id on this thread; 0 = outside any request.
+inline thread_local std::uint64_t t_request = 0;
+}  // namespace detail
+
+/// The request id active on this thread (0 when none).
+[[nodiscard]] inline std::uint64_t current_request() {
+  return detail::t_request;
+}
+
+/// RAII request scope: installs `id` as the current request for the
+/// enclosing scope, restoring the previous id on exit.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t id) : prev_(detail::t_request) {
+    detail::t_request = id;
+  }
+  ~RequestScope() { detail::t_request = prev_; }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Record one instant event into the flight ring, tagged with the current
+/// request id.  `aux` is a free payload word (a piggybacked-on request id,
+/// an elapsed time, ...).  No-op while collection is disabled.
+inline void record_event(NameId name, std::uint64_t aux = 0) {
+  if (!enabled()) return;
+  ThreadBuffer& tb = thread_buffer();
+  flight_append(tb, FlightKind::kInstant, name, current_request(),
+                next_stamp(tb), aux);
+}
+
+}  // namespace hpcem::obs

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "obs/registry.hpp"
+#include "obs/request_context.hpp"
 
 namespace hpcem::obs {
 
@@ -46,6 +47,38 @@ class ScopedSpan {
   std::uint64_t begin_ = 0;
 };
 
+/// Scope guard measuring one *request-scoped* span: like ScopedSpan, but
+/// the closed record is additionally appended to the thread's flight ring
+/// tagged with the current request id (obs/request_context.hpp).  The
+/// serving layer's handlers use this — it is what per-request trace
+/// retrieval and postmortems are built from, and the
+/// serve-obs-instrumentation lint rule requires it over a bare span.
+class RequestSpan {
+ public:
+  explicit RequestSpan(NameId name) {
+    if (enabled()) {
+      tb_ = &thread_buffer();
+      name_ = name;
+      begin_ = next_stamp(*tb_);
+    }
+  }
+  ~RequestSpan() {
+    if (tb_ != nullptr) {
+      const std::uint64_t end = next_stamp(*tb_);
+      tb_->spans.push_back({name_, begin_, end});
+      flight_append(*tb_, FlightKind::kSpan, name_, current_request(),
+                    begin_, end);
+    }
+  }
+  RequestSpan(const RequestSpan&) = delete;
+  RequestSpan& operator=(const RequestSpan&) = delete;
+
+ private:
+  ThreadBuffer* tb_ = nullptr;
+  NameId name_{};
+  std::uint64_t begin_ = 0;
+};
+
 }  // namespace hpcem::obs
 
 #define HPCEM_OBS_CONCAT_IMPL(a, b) a##b
@@ -53,6 +86,7 @@ class ScopedSpan {
 
 #ifdef HPCEM_OBS_DISABLE
 #define HPCEM_OBS_SPAN(name_literal) ((void)0)
+#define HPCEM_OBS_REQUEST_SPAN(name_literal) ((void)0)
 #else
 /// Open a span named `name_literal` for the rest of the enclosing scope.
 #define HPCEM_OBS_SPAN(name_literal)                                     \
@@ -62,4 +96,13 @@ class ScopedSpan {
   const ::hpcem::obs::ScopedSpan HPCEM_OBS_CONCAT(                       \
       hpcem_obs_span_, __LINE__){HPCEM_OBS_CONCAT(hpcem_obs_name_,       \
                                                   __LINE__)}
+/// Open a request-scoped span (flight-recorded, tagged with the current
+/// request id) for the rest of the enclosing scope.
+#define HPCEM_OBS_REQUEST_SPAN(name_literal)                             \
+  static const ::hpcem::obs::NameId HPCEM_OBS_CONCAT(hpcem_obs_name_,    \
+                                                     __LINE__) =         \
+      ::hpcem::obs::intern_name(name_literal);                           \
+  const ::hpcem::obs::RequestSpan HPCEM_OBS_CONCAT(                      \
+      hpcem_obs_rspan_, __LINE__){HPCEM_OBS_CONCAT(hpcem_obs_name_,      \
+                                                   __LINE__)}
 #endif

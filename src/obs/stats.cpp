@@ -1,0 +1,112 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcem::obs {
+
+double histogram_quantile(const MetricsSnapshot::HistogramValue& h,
+                          double q) {
+  if (h.count == 0) return 0.0;
+  // Nearest rank (1-based): the smallest rank whose cumulative count
+  // covers q of the distribution.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(h.count))));
+  std::uint64_t cum = 0;
+  for (const auto& [bit, n] : h.buckets) {
+    if (cum + n < rank) {
+      cum += n;
+      continue;
+    }
+    // Bucket `bit` holds values v with std::bit_width(v) == bit:
+    // bit == 0 -> v == 0, else v in [2^(bit-1), 2^bit - 1].
+    const double lo = bit == 0 ? 0.0 : std::ldexp(1.0, bit - 1);
+    const double hi = bit == 0 ? 0.0 : std::ldexp(1.0, bit) - 1.0;
+    // Midpoint-rank interpolation inside the bucket, clamped to the
+    // recorded extremes (which makes a single-sample histogram exact).
+    const double f = (static_cast<double>(rank - cum) - 0.5) /
+                     static_cast<double>(n);
+    const double estimate = lo + f * (hi - lo);
+    return std::clamp(estimate, static_cast<double>(h.min),
+                      static_cast<double>(h.max));
+  }
+  return static_cast<double>(h.max);
+}
+
+HistogramStats histogram_stats(const MetricsSnapshot::HistogramValue& h) {
+  HistogramStats s;
+  s.name = h.name;
+  s.unit = h.unit;
+  s.count = h.count;
+  s.sum = h.sum;
+  s.min = h.min;
+  s.max = h.max;
+  if (h.count > 0) {
+    s.mean = static_cast<double>(h.sum) / static_cast<double>(h.count);
+    s.p50 = histogram_quantile(h, 0.50);
+    s.p95 = histogram_quantile(h, 0.95);
+    s.p99 = histogram_quantile(h, 0.99);
+  }
+  return s;
+}
+
+StatsSnapshot StatsRegistry::snapshot() {
+  const MetricsSnapshot metrics = metrics_snapshot();
+  StatsSnapshot snap;
+  snap.deterministic = deterministic();
+  snap.counters = metrics.counters;
+  snap.gauges = metrics.gauges;
+  snap.histograms.reserve(metrics.histograms.size());
+  for (const auto& h : metrics.histograms) {
+    snap.histograms.push_back(histogram_stats(h));
+  }
+  return snap;
+}
+
+JsonValue stats_json(const StatsSnapshot& snap) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "hpcem.obs_stats");
+  doc.set("schema_version", kStatsSchemaVersion);
+  doc.set("deterministic", snap.deterministic);
+
+  JsonValue counters = JsonValue::array();
+  for (const auto& c : snap.counters) {
+    JsonValue v = JsonValue::object();
+    v.set("name", c.name);
+    v.set("unit", c.unit);
+    v.set("value", static_cast<double>(c.value));
+    counters.push_back(std::move(v));
+  }
+  doc.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::array();
+  for (const auto& g : snap.gauges) {
+    JsonValue v = JsonValue::object();
+    v.set("name", g.name);
+    v.set("unit", g.unit);
+    v.set("value", static_cast<double>(g.value));
+    gauges.push_back(std::move(v));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::array();
+  for (const auto& h : snap.histograms) {
+    JsonValue v = JsonValue::object();
+    v.set("name", h.name);
+    v.set("unit", h.unit);
+    v.set("count", static_cast<double>(h.count));
+    v.set("sum", static_cast<double>(h.sum));
+    v.set("min", static_cast<double>(h.min));
+    v.set("max", static_cast<double>(h.max));
+    v.set("mean", h.mean);
+    v.set("p50", h.p50);
+    v.set("p95", h.p95);
+    v.set("p99", h.p99);
+    hists.push_back(std::move(v));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+}  // namespace hpcem::obs

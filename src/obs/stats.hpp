@@ -1,0 +1,73 @@
+// StatsRegistry: live operational statistics derived from the metrics
+// snapshot — the exposition half of the runtime telemetry plane.
+//
+// A StatsSnapshot is the merged metrics snapshot (bit-identical across
+// shards and worker counts, see obs/metrics.hpp) plus derived histogram
+// statistics: mean and estimated p50/p95/p99 quantiles.  Quantiles are
+// interpolated within the log2 buckets, so they are estimates with
+// power-of-two resolution — but *deterministic* estimates: the same
+// collected data yields the same bytes whatever thread count produced it.
+//
+// Serialization (`stats_json`) is the document the serve tier's `stats`
+// NDJSON command embeds:
+//
+//   {"schema": "hpcem.obs_stats", "schema_version": 1,
+//    "deterministic": <bool>,
+//    "counters":   [{"name", "unit", "value"}...],
+//    "gauges":     [{"name", "unit", "value"}...],
+//    "histograms": [{"name", "unit", "count", "sum", "min", "max",
+//                    "mean", "p50", "p95", "p99"}...]}
+//
+// All lists are name-sorted (inherited from metrics_snapshot()).
+#pragma once
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+
+namespace hpcem::obs {
+
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// One histogram with derived statistics.
+struct HistogramStats {
+  std::string name;
+  std::string unit;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Merged live statistics: counters and gauges verbatim, histograms with
+/// quantiles.  Lists are sorted by metric name.
+struct StatsSnapshot {
+  bool deterministic = false;
+  std::vector<MetricsSnapshot::CounterValue> counters;
+  std::vector<MetricsSnapshot::GaugeValue> gauges;
+  std::vector<HistogramStats> histograms;
+};
+
+/// Snapshot access point for live stats exposition.  Requires the same
+/// quiescence as metrics_snapshot() for exact results.
+class StatsRegistry {
+ public:
+  [[nodiscard]] static StatsSnapshot snapshot();
+};
+
+/// Estimated q-quantile (q in (0, 1]) of a merged histogram value:
+/// nearest-rank bucket lookup with linear interpolation inside the log2
+/// bucket, clamped to the recorded [min, max].  0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(
+    const MetricsSnapshot::HistogramValue& h, double q);
+
+/// Derive mean/p50/p95/p99 for one merged histogram value.
+[[nodiscard]] HistogramStats histogram_stats(
+    const MetricsSnapshot::HistogramValue& h);
+
+[[nodiscard]] JsonValue stats_json(const StatsSnapshot& snap);
+
+}  // namespace hpcem::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/request_context.hpp"
 #include "util/stats.hpp"
 
 namespace hpcem::serve {
@@ -139,6 +140,10 @@ const StoredScenario* ArtifactStore::find(const std::string& name) const {
 }
 
 const StoredScenario& ArtifactStore::at(const std::string& name) const {
+  // Flight-recorder breadcrumb: which scenario lookups the current request
+  // performed (the store tier of the request trace).
+  static const obs::NameId kLookup = obs::intern_name("serve.store.at");
+  obs::record_event(kLookup);
   const StoredScenario* s = find(name);
   require(s != nullptr, "ArtifactStore: unknown scenario '" + name + "'");
   return *s;
@@ -163,6 +168,10 @@ std::size_t ArtifactStore::total_series_samples() const {
 
 WindowAggregate ArtifactStore::window_aggregate(const StoredChannel& channel,
                                                 SimTime start, SimTime end) {
+  static const obs::NameId kAggregate =
+      obs::intern_name("serve.store.window_aggregate");
+  obs::record_event(kAggregate,
+                    static_cast<std::uint64_t>(channel.times.size()));
   require_state(channel.has_series(),
                 "ArtifactStore: channel '" + channel.name +
                     "' carries no stored series (aggregate-only artifact)");

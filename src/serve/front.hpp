@@ -58,6 +58,13 @@ struct ServeOptions {
   std::size_t cache_entries = 4096;  ///< 0 disables the result cache
   std::size_t cache_shards = 8;
   std::size_t max_queue = 256;    ///< submit() blocks beyond this depth
+  /// Flight-recorder postmortem JSON path; empty disables dumping.
+  /// Dumps fire on a query error, or on a latency breach when
+  /// `slow_request_threshold` is set.  Needs obs collection enabled.
+  std::string postmortem_path;
+  /// Latency postmortem threshold in the active stamp unit (wall
+  /// nanoseconds, or logical ticks in deterministic mode); 0 = off.
+  std::uint64_t slow_request_threshold = 0;
 };
 
 /// Cumulative front statistics.
@@ -65,6 +72,7 @@ struct FrontStats {
   std::uint64_t requests = 0;
   std::uint64_t evaluations = 0;  ///< actual engine evaluations (misses)
   std::uint64_t coalesced = 0;    ///< waits on an identical in-flight query
+  std::uint64_t postmortems = 0;  ///< flight-recorder dumps triggered
   CacheStats cache;
   std::size_t peak_queue_depth = 0;
 };
@@ -79,7 +87,10 @@ class ServeFront {
 
   /// Answer one NDJSON request line synchronously (parse -> cache ->
   /// coalesce -> evaluate).  Never throws: failures become deterministic
-  /// `{"ok":false,...}` lines.  Safe to call from any thread.
+  /// `{"ok":false,...}` lines.  Safe to call from any thread.  Assigns
+  /// the line a deterministic request id (the running request count) and
+  /// serves it under that request-scoped span context; `stats` / `trace`
+  /// admin commands are answered here and never cached.
   [[nodiscard]] std::string handle(const std::string& line);
 
   /// Enqueue a request line on the executor.  Blocks while the queue is
@@ -99,11 +110,27 @@ class ServeFront {
   friend class ServeFrontTestAccess;
   using Evaluator = std::function<std::string(const QueryRequest&)>;
 
+  /// The request path proper (cache -> coalesce -> evaluate), run inside
+  /// the request-scoped span context handle() installs.
+  [[nodiscard]] std::string handle_request(const std::string& line);
+  /// Answer a stats/trace admin command from live front + obs state.
+  [[nodiscard]] std::string handle_admin(const QueryRequest& request) const;
+  [[nodiscard]] JsonValue stats_result() const;
+  [[nodiscard]] JsonValue trace_result(std::uint64_t request_id) const;
+  /// Dump a flight-recorder postmortem when `result` is an error response
+  /// or `elapsed` breaches the configured latency threshold.
+  void maybe_postmortem(const std::string& result, std::uint64_t request_id,
+                        std::uint64_t elapsed);
+
   [[nodiscard]] std::string evaluate_coalesced(const QueryRequest& request,
                                                const std::string& key);
 
   /// One query being computed right now; later identical arrivals wait.
   struct InFlight {
+    /// Id of the request that owns the evaluation; set before the entry
+    /// is published under inflight_mu_, so waiters can record whose
+    /// answer they piggybacked on.
+    std::uint64_t owner_request = 0;
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;        // hpcem: guarded_by(mu)
@@ -127,6 +154,12 @@ class ServeFront {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> evaluations_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> postmortems_{0};
+
+  std::string postmortem_path_;
+  std::uint64_t slow_request_threshold_ = 0;
+  /// Serializes postmortem dumps (snapshot + file write).
+  std::mutex postmortem_mu_;
 
   // Last member: destroyed first, so worker tasks still running at
   // teardown see every other member alive.

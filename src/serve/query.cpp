@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/spec_io.hpp"
+#include "obs/span.hpp"
 #include "grid/carbon.hpp"
 #include "util/sim_time.hpp"
 #include "util/stats.hpp"
@@ -159,6 +160,8 @@ std::string QueryRequest::op_name(Op op) {
     case Op::kRegimes: return "regimes";
     case Op::kCompare: return "compare";
     case Op::kWhatIf: return "whatif";
+    case Op::kStats: return "stats";
+    case Op::kTrace: return "trace";
   }
   return "unknown";
 }
@@ -191,6 +194,17 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
                                "start", "end", "scope3", "spec"});
     r.scenario = v.at("scenario").as_string();
     r.channel = v.at("channel").as_string();
+  } else if (op == "stats") {
+    r.op = Op::kStats;
+    reject_unknown_members(v, {"op", "id"});
+  } else if (op == "trace") {
+    r.op = Op::kTrace;
+    reject_unknown_members(v, {"op", "id", "request"});
+    const double n = v.at("request").as_number();
+    if (n < 1.0 || n != std::floor(n)) {
+      throw ParseError("query: trace request must be a positive integer id");
+    }
+    r.trace_request = static_cast<std::uint64_t>(n);
   } else {
     throw ParseError("query: unknown op '" + op + "'");
   }
@@ -248,6 +262,9 @@ JsonValue QueryRequest::to_canonical_json() const {
     v.set("a", scenario_a);
     v.set("b", scenario_b);
   }
+  if (op == Op::kTrace) {
+    v.set("request", static_cast<double>(trace_request));
+  }
   if (!scenario.empty()) v.set("scenario", scenario);
   if (!channel.empty()) v.set("channel", channel);
   if (start) v.set("start", start->sec());
@@ -292,6 +309,12 @@ JsonValue QueryEngine::evaluate(const QueryRequest& request) const {
     case QueryRequest::Op::kRegimes: return regimes(request);
     case QueryRequest::Op::kCompare: return compare(request);
     case QueryRequest::Op::kWhatIf: return whatif(request);
+    case QueryRequest::Op::kStats:
+    case QueryRequest::Op::kTrace:
+      // Admin commands read front/telemetry state the engine cannot see;
+      // ServeFront answers them before the engine is ever reached.
+      throw InvalidArgument("query: " + QueryRequest::op_name(request.op) +
+                            " is a serve-front command, not an engine query");
   }
   throw InvalidArgument("query: unhandled op");
 }
@@ -311,6 +334,7 @@ std::string QueryEngine::handle_line(const std::string& line) const {
 }
 
 JsonValue QueryEngine::list() const {
+  HPCEM_OBS_REQUEST_SPAN("serve.query.list");
   JsonValue scenarios = JsonValue::array();
   for (const std::string& name : store_->scenario_names()) {
     const StoredScenario& s = store_->at(name);
@@ -341,6 +365,7 @@ JsonValue QueryEngine::list() const {
 }
 
 JsonValue QueryEngine::window_aggregate(const QueryRequest& r) const {
+  HPCEM_OBS_REQUEST_SPAN("serve.query.window_aggregate");
   const StoredScenario& s = store_->at(r.scenario);
   const StoredChannel* ch = s.find_channel(r.channel);
   require(ch != nullptr, "query: unknown channel '" + r.channel +
@@ -401,6 +426,7 @@ JsonValue QueryEngine::window_aggregate(const QueryRequest& r) const {
 }
 
 JsonValue QueryEngine::regimes(const QueryRequest& r) const {
+  HPCEM_OBS_REQUEST_SPAN("serve.query.regimes");
   const StoredScenario& s = store_->at(r.scenario);
   HPCEM_ASSERT(r.intensity.has_value(), "regimes: parsed without intensity");
   const IntensitySpec& intensity = *r.intensity;
@@ -482,6 +508,7 @@ JsonValue QueryEngine::regimes(const QueryRequest& r) const {
 }
 
 JsonValue QueryEngine::compare(const QueryRequest& r) const {
+  HPCEM_OBS_REQUEST_SPAN("serve.query.compare");
   const StoredScenario& a = store_->at(r.scenario_a);
   const StoredScenario& b = store_->at(r.scenario_b);
   const auto side = [](const StoredScenario& s) {
@@ -512,6 +539,7 @@ JsonValue QueryEngine::compare(const QueryRequest& r) const {
 }
 
 JsonValue QueryEngine::whatif(const QueryRequest& r) const {
+  HPCEM_OBS_REQUEST_SPAN("serve.query.whatif");
   const StoredScenario& s = store_->at(r.scenario);
   const StoredChannel* ch = s.find_channel(r.channel);
   require(ch != nullptr, "query: unknown channel '" + r.channel +

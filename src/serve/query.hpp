@@ -26,6 +26,7 @@
 // many workers the front runs.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -49,9 +50,19 @@ struct IntensitySpec {
   [[nodiscard]] CarbonIntensity at(SimTime t) const;
 };
 
-/// One parsed, validated query.
+/// One parsed, validated query.  kStats and kTrace are serve-front admin
+/// commands (live telemetry exposition, docs/SERVE_SCHEMA.md): the front
+/// answers them itself, never caches them, and the engine rejects them.
 struct QueryRequest {
-  enum class Op { kList, kWindowAggregate, kRegimes, kCompare, kWhatIf };
+  enum class Op {
+    kList,
+    kWindowAggregate,
+    kRegimes,
+    kCompare,
+    kWhatIf,
+    kStats,
+    kTrace
+  };
 
   Op op = Op::kList;
   /// Optional client tag, echoed verbatim in the response.  Part of the
@@ -66,6 +77,7 @@ struct QueryRequest {
   std::optional<SimTime> end;
   std::optional<IntensitySpec> intensity;   ///< regimes / whatif
   std::optional<EmbodiedParams> embodied;   ///< whatif scope-3 override
+  std::uint64_t trace_request = 0;          ///< trace: the request id asked for
 
   /// Parse and validate one request object.  Throws ParseError on a
   /// malformed or incomplete request.

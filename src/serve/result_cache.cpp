@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/request_context.hpp"
 #include "util/error.hpp"
 
 namespace hpcem::serve {
@@ -34,21 +35,28 @@ ResultCache::Shard& ResultCache::shard_for(std::string_view key) {
 }
 
 std::optional<std::string> ResultCache::get(std::string_view key) {
+  // Flight-recorder breadcrumb (aux: 1 = hit, 0 = miss): the cache tier
+  // of the per-request trace.
+  static const obs::NameId kGet = obs::intern_name("serve.cache.get");
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::record_event(kGet, 0);
     return std::nullopt;
   }
   // Refresh recency: splice the node to the front (iterators and the
   // string_view key into the node stay valid).
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::record_event(kGet, 1);
   return it->second->second;
 }
 
 void ResultCache::put(std::string_view key, std::string value) {
+  static const obs::NameId kPut = obs::intern_name("serve.cache.put");
+  obs::record_event(kPut, value.size());
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);

@@ -1,0 +1,18 @@
+// Canary: the serving layer declares every contractual instrument name,
+// but opens its handler spans with the bare macro — bare spans never
+// reach the flight ring, so request traces and postmortems would be
+// empty.  serve-obs-instrumentation must flag each missing
+// HPCEM_OBS_REQUEST_SPAN.
+namespace hpcem::serve {
+void canary_handlers() {
+  HPCEM_OBS_SPAN("serve.request");
+  HPCEM_OBS_SPAN("serve.query.list");
+  HPCEM_OBS_SPAN("serve.query.window_aggregate");
+  HPCEM_OBS_SPAN("serve.query.regimes");
+  HPCEM_OBS_SPAN("serve.query.compare");
+  HPCEM_OBS_SPAN("serve.query.whatif");
+  hit("serve.cache.hit");
+  miss("serve.cache.miss");
+  gauge("serve.queue.depth");
+}
+}  // namespace hpcem::serve

@@ -5,6 +5,7 @@
 // obs metrics usable in CI comparisons.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +94,100 @@ TEST_F(ObsMergeTest, MergedValuesAreTheWorkloadTotals) {
   EXPECT_TRUE(saw_ops);
   EXPECT_TRUE(saw_peak);
   EXPECT_TRUE(saw_sizes);
+}
+
+// --------------------------------------------------------------- merge_shard
+// The single histogram-fold definition: edge cases around the empty-shard
+// min sentinel and the extreme log2 buckets.
+
+/// Mimic Histogram::record on a detached shard.
+void record_into(HistogramShard& h, std::uint64_t value) {
+  ++h.count;
+  h.sum += value;
+  if (value < h.min) h.min = value;
+  if (value > h.max) h.max = value;
+  ++h.buckets[static_cast<std::size_t>(std::bit_width(value))];
+}
+
+bool shards_identical(const HistogramShard& a, const HistogramShard& b) {
+  return a.count == b.count && a.sum == b.sum && a.min == b.min &&
+         a.max == b.max && a.buckets == b.buckets;
+}
+
+TEST_F(ObsMergeTest, MergeShardEmptyAndSingleSampleIsOrderInvariant) {
+  HistogramShard empty;
+  HistogramShard single;
+  record_into(single, 7);
+
+  HistogramShard empty_first;
+  merge_shard(empty_first, empty);
+  merge_shard(empty_first, single);
+
+  HistogramShard single_first;
+  merge_shard(single_first, single);
+  merge_shard(single_first, empty);
+
+  EXPECT_TRUE(shards_identical(empty_first, single_first));
+  // The empty shard's min sentinel must never leak into the result.
+  EXPECT_EQ(empty_first.count, 1u);
+  EXPECT_EQ(empty_first.min, 7u);
+  EXPECT_EQ(empty_first.max, 7u);
+  EXPECT_EQ(empty_first.buckets[std::bit_width(std::uint64_t{7})], 1u);
+}
+
+TEST_F(ObsMergeTest, MergeShardOfTwoEmptiesStaysEmpty) {
+  HistogramShard a;
+  HistogramShard b;
+  merge_shard(a, b);
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_EQ(a.sum, 0u);
+  EXPECT_EQ(a.min, ~std::uint64_t{0});  // sentinel intact
+  EXPECT_EQ(a.max, 0u);
+}
+
+TEST_F(ObsMergeTest, MergeShardExtremeValuesLandInTheEdgeBuckets) {
+  HistogramShard zero;
+  record_into(zero, 0);  // bit_width(0) == 0: bucket 0 holds exactly {0}
+  HistogramShard huge;
+  record_into(huge, ~std::uint64_t{0});  // bit_width == 64: last bucket
+
+  HistogramShard merged;
+  merge_shard(merged, zero);
+  merge_shard(merged, huge);
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.min, 0u);
+  EXPECT_EQ(merged.max, ~std::uint64_t{0});
+  EXPECT_EQ(merged.buckets[0], 1u);
+  EXPECT_EQ(merged.buckets[64], 1u);
+
+  HistogramShard reversed;
+  merge_shard(reversed, huge);
+  merge_shard(reversed, zero);
+  EXPECT_TRUE(shards_identical(merged, reversed));
+}
+
+TEST_F(ObsMergeTest, MergeShardBracketingIsAssociative) {
+  HistogramShard a;
+  HistogramShard b;
+  HistogramShard c;
+  record_into(a, 3);
+  record_into(b, 1000);
+  record_into(b, 12);
+  // c stays empty.
+
+  HistogramShard left;  // (a + b) + c
+  merge_shard(left, a);
+  merge_shard(left, b);
+  merge_shard(left, c);
+
+  HistogramShard bc;  // a + (b + c)
+  merge_shard(bc, b);
+  merge_shard(bc, c);
+  HistogramShard right;
+  merge_shard(right, a);
+  merge_shard(right, bc);
+
+  EXPECT_TRUE(shards_identical(left, right));
 }
 
 TEST_F(ObsMergeTest, SnapshotsAreNameOrdered) {

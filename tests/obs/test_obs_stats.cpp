@@ -1,0 +1,170 @@
+// StatsRegistry and its derivations: deterministic quantile estimates out
+// of log2 histogram buckets, worker-count-invariant stats_json bytes, and
+// the Prometheus text exposition.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/stats.hpp"
+
+namespace hpcem::obs {
+namespace {
+
+class ObsStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_collected();
+    set_enabled(true);
+    set_deterministic(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_deterministic(false);
+    reset_collected();
+  }
+};
+
+MetricsSnapshot::HistogramValue single_sample(std::uint64_t value) {
+  MetricsSnapshot::HistogramValue h;
+  h.name = "test.single";
+  h.unit = "ns";
+  h.count = 1;
+  h.sum = value;
+  h.min = value;
+  h.max = value;
+  h.buckets = {{static_cast<int>(std::bit_width(value)), 1}};
+  return h;
+}
+
+TEST_F(ObsStatsTest, SingleSampleQuantilesAreExact) {
+  // Clamping to [min, max] collapses the bucket estimate to the one
+  // recorded value, whatever the quantile.
+  const auto h = single_sample(100);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.50), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.95), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 100.0);
+  const HistogramStats s = histogram_stats(h);
+  EXPECT_DOUBLE_EQ(s.mean, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 100.0);
+  EXPECT_DOUBLE_EQ(s.p99, 100.0);
+}
+
+TEST_F(ObsStatsTest, EmptyHistogramYieldsZeroes) {
+  MetricsSnapshot::HistogramValue h;
+  h.name = "test.empty";
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  const HistogramStats s = histogram_stats(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST_F(ObsStatsTest, QuantilesAreMonotoneAndWithinRange) {
+  const Histogram hist("obs.stats.range", "ns");
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  const StatsSnapshot snap = StatsRegistry::snapshot();
+  bool saw = false;
+  for (const HistogramStats& h : snap.histograms) {
+    if (h.name != "obs.stats.range") continue;
+    saw = true;
+    EXPECT_EQ(h.count, 1000u);
+    EXPECT_LE(h.p50, h.p95);
+    EXPECT_LE(h.p95, h.p99);
+    EXPECT_GE(h.p50, static_cast<double>(h.min));
+    EXPECT_LE(h.p99, static_cast<double>(h.max));
+    // Log2 resolution: the median estimate must land in the right
+    // power-of-two neighbourhood of the true median (500).
+    EXPECT_GE(h.p50, 256.0);
+    EXPECT_LE(h.p50, 1023.0);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(ObsStatsTest, BucketInterpolationIsPiecewiseIncreasing) {
+  // Two well-separated buckets: the rank walk must place low quantiles in
+  // the low bucket and high quantiles in the high bucket.
+  MetricsSnapshot::HistogramValue h;
+  h.name = "test.bimodal";
+  h.count = 100;
+  h.min = 4;
+  h.max = 1000;
+  h.sum = 90 * 4 + 10 * 1000;
+  h.buckets = {{3, 90}, {10, 10}};  // 90 in [4,7], 10 in [512,1023]
+  EXPECT_LE(histogram_quantile(h, 0.50), 7.0);
+  EXPECT_GE(histogram_quantile(h, 0.99), 512.0);
+}
+
+/// Record a fixed workload over `workers` threads and return the
+/// serialized stats document.
+std::string stats_bytes(std::uint64_t workers) {
+  reset_collected();
+  const Counter ops("obs.stats.ops", "ops");
+  const Histogram sizes("obs.stats.sizes", "bytes");
+  constexpr std::uint64_t kTotal = 2048;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint64_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::uint64_t i = w; i < kTotal; i += workers) {
+        ops.add();
+        sizes.record(i * 53 % 4096);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return stats_json(StatsRegistry::snapshot()).dump(2);
+}
+
+TEST_F(ObsStatsTest, StatsJsonIsWorkerCountInvariant) {
+  const std::string one = stats_bytes(1);
+  EXPECT_EQ(stats_bytes(2), one);
+  EXPECT_EQ(stats_bytes(5), one);
+  EXPECT_EQ(stats_bytes(8), one);
+}
+
+TEST_F(ObsStatsTest, StatsJsonCarriesSchemaAndDerivedFields) {
+  const Histogram hist("obs.stats.doc", "ns");
+  hist.record(64);
+  const std::string bytes = stats_json(StatsRegistry::snapshot()).dump(0);
+  EXPECT_NE(bytes.find("\"schema\":\"hpcem.obs_stats\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(bytes.find("\"deterministic\":true"), std::string::npos);
+  EXPECT_NE(bytes.find("\"p95\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"mean\""), std::string::npos);
+}
+
+TEST_F(ObsStatsTest, PrometheusTextExposition) {
+  const Counter hits("obs.prom.hits");
+  const Gauge depth("obs.prom.depth", "requests");
+  const Histogram lat("obs.prom.latency.ns", "ns");
+  hits.add(3);
+  depth.set(7);
+  lat.record(5);    // bucket bit_width 3: le="7"
+  lat.record(100);  // bucket bit_width 7: le="127"
+  const std::string text = prometheus_text(metrics_snapshot());
+
+  // Counters get the _total suffix, names are mangled to [a-z0-9_].
+  EXPECT_NE(text.find("# TYPE hpcem_obs_prom_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_hits_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_depth 7\n"), std::string::npos);
+  // Histogram buckets are cumulative with le upper bounds 2^b - 1.
+  EXPECT_NE(text.find("hpcem_obs_prom_latency_ns_bucket{le=\"7\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_latency_ns_bucket{le=\"127\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_latency_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_latency_ns_sum 105\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpcem_obs_prom_latency_ns_count 2\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcem::obs

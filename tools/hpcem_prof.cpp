@@ -5,6 +5,11 @@
 //                        prints the self/inclusive-time profile.
 //   hpcem.run_artifact — run artifact (v2 embeds an "obs" section):
 //                        prints the collected counters/gauges/histograms.
+//   hpcem.postmortem   — serve-tier flight-recorder dump (written on query
+//                        error / latency breach): prints the trigger and
+//                        the per-thread recent-record table.  --postmortem
+//                        requires this schema; --request N shows only the
+//                        records one request id produced.
 //
 // A/B regression check (the CI bench gate):
 //   hpcem_prof current.trace.json --compare baseline.trace.json
@@ -124,6 +129,54 @@ void print_metrics(const obs::MetricsSnapshot& snap) {
   if (snap.counters.empty() && snap.gauges.empty() &&
       snap.histograms.empty()) {
     std::cout << "no metrics collected\n";
+  }
+}
+
+void print_postmortem(const JsonValue& doc, double request_filter) {
+  const JsonValue& trigger = doc.at("trigger");
+  std::cout << "trigger: reason=" << trigger.at("reason").as_string()
+            << " request=" << TextTable::grouped(
+                                  trigger.at("request").as_number())
+            << " elapsed=" << TextTable::grouped(
+                                  trigger.at("elapsed").as_number())
+            << " threshold=" << TextTable::grouped(
+                                    trigger.at("threshold").as_number())
+            << "\n\n";
+
+  TextTable t({"Thread", "Name", "Kind", "Request", "Begin", "End"},
+              {Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
+               Align::kRight, Align::kRight});
+  std::size_t shown = 0;
+  std::size_t total = 0;
+  for (const JsonValue& thread : doc.at("threads").as_array()) {
+    const std::string& label = thread.at("label").as_string();
+    for (const JsonValue& rec : thread.at("records").as_array()) {
+      ++total;
+      if (request_filter > 0 &&
+          rec.at("request").as_number() != request_filter) {
+        continue;
+      }
+      ++shown;
+      t.add_row({label, rec.at("name").as_string(),
+                 rec.at("kind").as_string(),
+                 TextTable::grouped(rec.at("request").as_number()),
+                 TextTable::grouped(rec.at("begin").as_number()),
+                 TextTable::grouped(rec.at("end").as_number())});
+    }
+  }
+  if (shown == 0) {
+    std::cout << (request_filter > 0
+                      ? "no records for request " +
+                            TextTable::grouped(request_filter)
+                      : std::string("no records"))
+              << '\n';
+    return;
+  }
+  std::cout << t.str();
+  if (request_filter > 0) {
+    std::cout << '\n'
+              << shown << " of " << total << " records for request "
+              << TextTable::grouped(request_filter) << '\n';
   }
 }
 
@@ -268,6 +321,12 @@ int main(int argc, char** argv) {
   args.add_option("fail-pct", "15",
                   "with --span/--metric: exit 3 when a gated quantity grew "
                   "by more than this percentage");
+  args.add_flag("postmortem",
+                "require the input to be an hpcem.postmortem flight-"
+                "recorder dump");
+  args.add_option("request", "0",
+                  "with a postmortem: show only this request id's records "
+                  "(0 = all)");
   args.allow_positionals("file",
                          "one trace.json or artifact.json to read");
   args.set_version(tools::version_line("hpcem_prof"));
@@ -287,6 +346,9 @@ int main(int argc, char** argv) {
       args.get("compare").empty()) {
     return tools::usage_error(args, "--span/--metric need --compare");
   }
+  if (args.get_int("request") < 0) {
+    return tools::usage_error(args, "--request must be >= 0");
+  }
 
   return tools::tool_main([&] {
     const std::string path = args.positionals().front();
@@ -297,6 +359,15 @@ int main(int argc, char** argv) {
 
     const JsonValue doc = load_json(path);
     const std::string schema = doc_schema(doc, path);
+    if (args.get_flag("postmortem") && schema != "hpcem.postmortem") {
+      std::cerr << "error: " << path << ": --postmortem expects an "
+                << "hpcem.postmortem document, got " << schema << '\n';
+      return tools::kExitFailure;
+    }
+    if (schema == "hpcem.postmortem") {
+      print_postmortem(doc, args.get_double("request"));
+      return tools::kExitOk;
+    }
     if (schema == "hpcem.trace") {
       print_profile(obs::profile_trace(doc), sort_key,
                     static_cast<std::size_t>(args.get_int("top")));

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/metrics_export.hpp"
 #include "obs/session.hpp"
 #include "serve/front.hpp"
 #include "tool_main.hpp"
@@ -46,6 +47,15 @@ int main(int argc, char** argv) {
                   "read requests from this NDJSON file instead of stdin");
   args.add_flag("no-cache", "disable the result cache");
   args.add_flag("stats", "print serving statistics to stderr at exit");
+  args.add_option("postmortem", "",
+                  "write a flight-recorder postmortem JSON here on query "
+                  "error or latency breach (implies obs collection)");
+  args.add_option("slow-ms", "0",
+                  "latency postmortem threshold in milliseconds (0 = off; "
+                  "wall-clock stamps only)");
+  args.add_option("prom-out", "",
+                  "write Prometheus text-format metrics here at exit "
+                  "(implies obs collection)");
 
   args.set_version(tools::version_line("hpcem_serve"));
   if (!args.parse(argc, argv)) return tools::parse_exit(args);
@@ -55,9 +65,17 @@ int main(int argc, char** argv) {
   if (args.get_int("workers") < 1) {
     return tools::usage_error(args, "--workers must be >= 1");
   }
+  if (args.get_int("slow-ms") < 0) {
+    return tools::usage_error(args, "--slow-ms must be >= 0");
+  }
 
   return tools::tool_main([&] {
     const obs::ObsSession session("hpcem_serve");
+    // The telemetry outputs need live collection even without HPCEM_OBS=1
+    // (the environment toggles stay authoritative for determinism mode).
+    if (!args.get("postmortem").empty() || !args.get("prom-out").empty()) {
+      obs::set_enabled(true);
+    }
 
     serve::ArtifactStore store;
     std::size_t files = 0;
@@ -83,6 +101,9 @@ int main(int argc, char** argv) {
             ? 0
             : static_cast<std::size_t>(args.get_int("cache-entries"));
     options.max_queue = static_cast<std::size_t>(args.get_int("max-queue"));
+    options.postmortem_path = args.get("postmortem");
+    options.slow_request_threshold =
+        static_cast<std::uint64_t>(args.get_int("slow-ms")) * 1'000'000ULL;
     serve::ServeFront front(store, options);
 
     std::size_t served = 0;
@@ -98,6 +119,16 @@ int main(int argc, char** argv) {
       served = front.serve_stream(in, std::cout);
     } else {
       served = front.serve_stream(std::cin, std::cout);
+    }
+
+    if (!args.get("prom-out").empty()) {
+      std::ofstream prom(args.get("prom-out"),
+                         std::ios::binary | std::ios::trunc);
+      if (!prom) {
+        std::cerr << "error: cannot write " << args.get("prom-out") << '\n';
+        return tools::kExitFailure;
+      }
+      prom << obs::prometheus_text(obs::metrics_snapshot());
     }
 
     if (args.get_flag("stats")) {
