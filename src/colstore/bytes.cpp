@@ -1,0 +1,149 @@
+#include "colstore/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace hpcem::colstore {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void ByteWriter::f64_block(const std::vector<double>& values) {
+  if constexpr (std::endian::native == std::endian::little) {
+    // On a little-endian host the in-memory doubles already are the wire
+    // bytes; append them in one go.  This memcpy lives inside the
+    // sanctioned colstore codec (see binary-io-hygiene).
+    const std::size_t at = out_.size();
+    out_.resize(at + values.size() * sizeof(double));
+    if (!values.empty()) {
+      std::memcpy(out_.data() + at, values.data(),
+                  values.size() * sizeof(double));
+    }
+  } else {
+    for (const double v : values) f64(v);
+  }
+}
+
+ByteReader::ByteReader(std::string_view data, std::string label)
+    : data_(data), label_(std::move(label)) {}
+
+void ByteReader::fail(std::string_view what, std::string_view why) const {
+  throw ParseError("hcaf: " + label_ + ": " + std::string(what) + ": " +
+                   std::string(why) + " (at byte " + std::to_string(pos_) +
+                   " of " + std::to_string(data_.size()) + ")");
+}
+
+void ByteReader::need(std::size_t n, std::string_view what) const {
+  if (n > data_.size() - pos_) {
+    fail(what, "truncated: need " + std::to_string(n) + " more bytes, have " +
+                   std::to_string(data_.size() - pos_));
+  }
+}
+
+void ByteReader::seek(std::size_t pos, std::string_view what) {
+  if (pos > data_.size()) {
+    fail(what, "seek to byte " + std::to_string(pos) +
+                   " is past the end of the buffer");
+  }
+  pos_ = pos;
+}
+
+std::uint8_t ByteReader::u8(std::string_view what) {
+  need(1, what);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32(std::string_view what) {
+  need(4, what);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64(std::string_view what) {
+  need(8, what);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64(std::string_view what) {
+  return std::bit_cast<double>(u64(what));
+}
+
+std::string ByteReader::str(std::string_view what) {
+  const std::uint32_t len = u32(what);
+  need(len, what);
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void ByteReader::f64_block(std::string_view data, std::string_view label,
+                           std::size_t offset, std::size_t count,
+                           std::vector<double>& out, std::string_view what) {
+  // All arithmetic on the unsigned extent is checked before any access:
+  // count * 8 cannot wrap (count was validated against the block region by
+  // the caller, but re-check here so this accessor is safe on its own).
+  const std::size_t max_count = data.size() / sizeof(double);
+  if (count > max_count || offset > data.size() ||
+      count * sizeof(double) > data.size() - offset) {
+    throw ParseError("hcaf: " + std::string(label) + ": " +
+                     std::string(what) + ": column block [" +
+                     std::to_string(offset) + ", +" + std::to_string(count) +
+                     " f64) exceeds the file (" + std::to_string(data.size()) +
+                     " bytes)");
+  }
+  out.resize(count);
+  if (count == 0) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), data.data() + offset, count * sizeof(double));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) {
+        v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                 data[offset + i * 8 + static_cast<std::size_t>(b)]))
+             << (8 * b);
+      }
+      out[i] = std::bit_cast<double>(v);
+    }
+  }
+}
+
+}  // namespace hpcem::colstore

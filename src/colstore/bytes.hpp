@@ -1,0 +1,90 @@
+// Bounds-checked little-endian byte codec: the one sanctioned place in the
+// tree where raw bytes become typed values.
+//
+// Everything HCAF reads or writes goes through `ByteWriter` / `ByteReader`:
+// the writer renders integers and doubles to explicit little-endian bytes,
+// and the reader re-assembles them with every access bounds-checked against
+// the buffer — a truncated or corrupt file produces a one-line
+// `hcaf: <label>: $.path: ...` ParseError, never an out-of-range read.
+// The `binary-io-hygiene` lint rule bans raw `memcpy`/`reinterpret_cast`
+// byte punning outside src/colstore precisely so that this file's checked
+// accessors stay the only byte-reinterpretation surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcem::colstore {
+
+/// FNV-1a 64-bit hash: the directory checksum and the consistent-hash
+/// ring both use it (stable across platforms, trivial to re-implement).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Append-only little-endian encoder over a growing byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern, little-endian: exact round trip for every
+  /// double including -0.0, infinities and NaN payloads.
+  void f64(double v);
+  /// u32 byte length followed by the raw bytes (no terminator).
+  void str(std::string_view s);
+  /// A column block: `values.size()` little-endian f64s, no length prefix
+  /// (the directory records offset and count).
+  void f64_block(const std::vector<double>& values);
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Strict cursor over an immutable byte buffer.  Every accessor names what
+/// it is reading (`$.scenarios[2].name` style); running off the end of the
+/// buffer throws ParseError with that path in the message.
+class ByteReader {
+ public:
+  /// `label` prefixes every error ("hcaf: <label>: ...") — callers pass
+  /// the file path.
+  ByteReader(std::string_view data, std::string label);
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Bounds-checked absolute reposition.
+  void seek(std::size_t pos, std::string_view what);
+
+  [[nodiscard]] std::uint8_t u8(std::string_view what);
+  [[nodiscard]] std::uint32_t u32(std::string_view what);
+  [[nodiscard]] std::uint64_t u64(std::string_view what);
+  [[nodiscard]] double f64(std::string_view what);
+  /// u32 length + bytes; the length is bounds-checked before the copy.
+  [[nodiscard]] std::string str(std::string_view what);
+
+  /// Throw a ParseError for `what` with this reader's label and position.
+  [[noreturn]] void fail(std::string_view what, std::string_view why) const;
+
+  /// The sanctioned bulk accessor: decode `count` little-endian f64s
+  /// starting at absolute byte `offset` of `data` into `out`.
+  /// Bounds-checked against the buffer before any byte is touched.
+  static void f64_block(std::string_view data, std::string_view label,
+                        std::size_t offset, std::size_t count,
+                        std::vector<double>& out, std::string_view what);
+
+ private:
+  /// Check `n` more bytes exist at the cursor; throws ParseError naming
+  /// `what` otherwise.
+  void need(std::size_t n, std::string_view what) const;
+
+  std::string_view data_;
+  std::string label_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hpcem::colstore

@@ -1,0 +1,37 @@
+#include "colstore/columns.hpp"
+
+#include "util/stats.hpp"
+
+namespace hpcem::colstore {
+
+ChannelColumns build_columns(const std::vector<Sample>& series) {
+  ChannelColumns c;
+  const std::size_t n = series.size();
+  if (n == 0) return c;
+
+  c.times.reserve(n);
+  c.values.reserve(n);
+  c.prefix_value_sum.reserve(n + 1);
+  c.prefix_integral.reserve(n + 1);
+  // Compensated prefix accumulators: windowed sums are differences of
+  // prefixes, so per-element drift would surface directly in responses.
+  CompensatedSum value_sum;
+  CompensatedSum integral;
+  c.prefix_value_sum.push_back(0.0);
+  c.prefix_integral.push_back(0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = series[i];
+    if (i > 0) {
+      integral.add(0.5 * (s.value + c.values.back()) *
+                   (s.time.sec() - c.times.back()));
+    }
+    c.times.push_back(s.time.sec());
+    c.values.push_back(s.value);
+    value_sum.add(s.value);
+    c.prefix_value_sum.push_back(value_sum.value());
+    c.prefix_integral.push_back(integral.value());
+  }
+  return c;
+}
+
+}  // namespace hpcem::colstore

@@ -1,0 +1,57 @@
+// HCAF — the hpcem columnar artifact format: on-disk layout constants.
+//
+// An HCAF shard file holds one or more run artifacts in a binary columnar
+// layout that `serve::ArtifactStore` can load near-instantly: the column
+// blocks (times, values, and the Neumaier-compensated prefix sums the
+// windowed-aggregate queries need) are stored ready to use, so ingest is
+// a bounds-checked copy instead of a JSON parse plus a prefix-sum pass.
+//
+// Byte-level layout (all integers and floats little-endian; see
+// docs/ARTIFACT_BINARY.md for the full specification):
+//
+//   header   16 bytes   "HCAF" magic, u32 format version, u64 flags (0)
+//   blocks   8-aligned  raw f64 column blocks, back to back
+//   directory            ByteWriter-serialized metadata: per-scenario
+//                        identity, headline, change points, obs JSON, and
+//                        per-channel aggregates plus (offset, count)
+//                        references into the block region
+//   footer   32 bytes   u64 directory offset, u64 directory length,
+//                        u64 FNV-1a checksum of the directory bytes,
+//                        u32 format version (must match the header),
+//                        "FACH" magic
+//
+// Versioning: the HCAF format version moves independently of the JSON
+// run-artifact schema (currently v3).  HCAF v1 carries exactly the
+// information of a schema-v3 JSON artifact — the reader reconstructs a
+// `RunArtifact` that re-serializes byte-identically.  A reader rejects
+// files whose version is newer than it understands; flags are reserved
+// for forward-compatible extensions and must be zero in v1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpcem::colstore {
+
+/// The HCAF format version this build reads and writes.
+inline constexpr int kFormatVersion = 1;
+
+/// Leading file magic: "HCAF".
+inline constexpr std::uint8_t kMagic[4] = {'H', 'C', 'A', 'F'};
+/// Trailing footer magic: "FACH" (the header magic mirrored, so a
+/// truncated or concatenated file can never end in a valid footer by
+/// accident).
+inline constexpr std::uint8_t kFooterMagic[4] = {'F', 'A', 'C', 'H'};
+
+/// Fixed header size: magic + u32 version + u64 flags.
+inline constexpr std::size_t kHeaderSize = 16;
+/// Fixed footer size: u64 offset + u64 length + u64 checksum +
+/// u32 version + magic.
+inline constexpr std::size_t kFooterSize = 32;
+
+/// Column blocks are arrays of f64 and must start 8-byte aligned (the
+/// header size keeps the first block aligned; the writer pads nothing
+/// because every block is a whole number of 8-byte elements).
+inline constexpr std::size_t kBlockAlignment = 8;
+
+}  // namespace hpcem::colstore

@@ -835,6 +835,51 @@ class ScenarioInDataRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule: binary-io-hygiene
+// ---------------------------------------------------------------------------
+// Byte reinterpretation is confined to src/colstore's bounds-checked codec
+// (colstore/bytes.hpp): a raw memcpy out of a file buffer or a
+// reinterpret_cast over its bytes anywhere else bypasses the one place
+// where truncation and corruption are checked, and is exactly how a
+// malformed shard becomes an out-of-range read instead of a ParseError.
+class BinaryIoHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "binary-io-hygiene";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "ban raw memcpy/memmove byte copies and reinterpret_cast "
+           "punning outside src/colstore's bounds-checked codec "
+           "(colstore/bytes.hpp); decode bytes through ByteReader";
+  }
+  void check_file(const FileContext& file,
+                  std::vector<Diagnostic>& out) const override {
+    // The codec itself is the sanctioned home of these constructs.
+    if (file.in_dir("src/colstore/")) return;
+    const Tokens& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "memcpy" || t.text == "memmove") {
+        const std::size_t j = next_code(toks, i);
+        if (j < toks.size() && toks[j].is_punct("(")) {
+          emit(out, name(), file, t,
+               "raw " + t.text +
+                   "() byte copy; binary decoding belongs in "
+                   "src/colstore's bounds-checked ByteReader/ByteWriter "
+                   "(colstore/bytes.hpp)");
+        }
+      } else if (t.text == "reinterpret_cast") {
+        emit(out, name(), file, t,
+             "reinterpret_cast punning; use std::bit_cast for value "
+             "reinterpretation or src/colstore's checked codec for byte "
+             "buffers (colstore/bytes.hpp)");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> default_rules() {
@@ -850,6 +895,7 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
   rules.push_back(std::make_unique<NoIncludeCycleRule>());
   rules.push_back(std::make_unique<ServeObsInstrumentationRule>());
   rules.push_back(std::make_unique<ScenarioInDataRule>());
+  rules.push_back(std::make_unique<BinaryIoHygieneRule>());
   for (auto& rule : semantic_rules()) rules.push_back(std::move(rule));
   return rules;
 }

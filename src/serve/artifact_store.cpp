@@ -5,43 +5,36 @@
 #include <fstream>
 #include <sstream>
 
+#include "colstore/columns.hpp"
+#include "colstore/hcaf.hpp"
 #include "obs/request_context.hpp"
-#include "util/stats.hpp"
 
 namespace hpcem::serve {
 
 namespace {
+
+/// Adopt a set of pre-built columns into a StoredChannel.
+void adopt_columns(StoredChannel& ch, colstore::ChannelColumns&& cols) {
+  ch.times = std::move(cols.times);
+  ch.values = std::move(cols.values);
+  ch.prefix_value_sum = std::move(cols.prefix_value_sum);
+  ch.prefix_integral = std::move(cols.prefix_integral);
+}
 
 StoredChannel columnise(const ChannelAggregate& aggregate) {
   StoredChannel ch;
   ch.name = aggregate.name;
   ch.unit = aggregate.unit;
   ch.aggregate = aggregate;
-  const std::size_t n = aggregate.series.size();
-  if (n == 0) return ch;
-
-  ch.times.reserve(n);
-  ch.values.reserve(n);
-  ch.prefix_value_sum.reserve(n + 1);
-  ch.prefix_integral.reserve(n + 1);
-  // Compensated prefix accumulators: windowed sums are differences of
-  // prefixes, so per-element drift would surface directly in responses.
-  CompensatedSum value_sum;
-  CompensatedSum integral;
-  ch.prefix_value_sum.push_back(0.0);
-  ch.prefix_integral.push_back(0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Sample& s = aggregate.series[i];
-    if (i > 0) {
-      integral.add(0.5 * (s.value + ch.values.back()) *
-                   (s.time.sec() - ch.times.back()));
-    }
-    ch.times.push_back(s.time.sec());
-    ch.values.push_back(s.value);
-    value_sum.add(s.value);
-    ch.prefix_value_sum.push_back(value_sum.value());
-    ch.prefix_integral.push_back(integral.value());
-  }
+  // The raw samples live in the columns; keeping a second copy inside the
+  // aggregate would double the store's memory for no reader (queries touch
+  // only the aggregate's scalar fields).
+  ch.aggregate.series.clear();
+  ch.aggregate.series.shrink_to_fit();
+  // One implementation builds columns for every ingest path (JSON here,
+  // HCAF at compaction time) — that shared code is what makes responses
+  // bit-identical across formats.
+  adopt_columns(ch, colstore::build_columns(aggregate.series));
   return ch;
 }
 
@@ -56,28 +49,12 @@ const StoredChannel* StoredScenario::find_channel(
   return &*it;
 }
 
-void ArtifactStore::add(const RunArtifact& artifact,
-                        const std::string& source_file) {
-  const auto existing = scenarios_.find(artifact.scenario);
+void ArtifactStore::insert_scenario(StoredScenario&& s) {
+  const auto existing = scenarios_.find(s.name);
   if (existing != scenarios_.end()) {
     throw DuplicateScenarioError(
-        "duplicate scenario id '" + artifact.scenario + "' (first: " +
-        existing->second.source_file + ", again: " + source_file + ")");
-  }
-
-  StoredScenario s;
-  s.name = artifact.scenario;
-  s.source = artifact.source;
-  s.machine = artifact.machine;
-  s.source_file = source_file;
-  s.window_start = artifact.window_start;
-  s.window_end = artifact.window_end;
-  s.replicates = artifact.replicates;
-  s.headline = artifact.headline;
-  s.change_points = artifact.change_points;
-  s.channels.reserve(artifact.channels.size());
-  for (const ChannelAggregate& c : artifact.channels) {
-    s.channels.push_back(columnise(c));
+        "duplicate scenario id '" + s.name + "' (first: " +
+        existing->second.source_file + ", again: " + s.source_file + ")");
   }
   // Dense per-scenario channel ids are lexicographic ranks, independent of
   // the order the producer emitted them in.
@@ -93,12 +70,78 @@ void ArtifactStore::add(const RunArtifact& artifact,
   scenarios_.emplace(s.name, std::move(s));
 }
 
+void ArtifactStore::add(const RunArtifact& artifact,
+                        const std::string& source_file) {
+  StoredScenario s;
+  s.name = artifact.scenario;
+  s.source = artifact.source;
+  s.machine = artifact.machine;
+  s.source_file = source_file;
+  s.window_start = artifact.window_start;
+  s.window_end = artifact.window_end;
+  s.replicates = artifact.replicates;
+  s.headline = artifact.headline;
+  s.change_points = artifact.change_points;
+  s.channels.reserve(artifact.channels.size());
+  for (const ChannelAggregate& c : artifact.channels) {
+    s.channels.push_back(columnise(c));
+  }
+  insert_scenario(std::move(s));
+  ++memory_ingests_;
+}
+
 void ArtifactStore::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw ParseError("ArtifactStore: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   add(RunArtifact::from_json_text(buf.str()), path);
+  // add() counted a memory ingest; this one came from a JSON file.
+  --memory_ingests_;
+  ++json_ingests_;
+}
+
+std::size_t ArtifactStore::load_hcaf_file(const std::string& path) {
+  static const obs::NameId kLoad = obs::intern_name("serve.store.load_hcaf");
+  std::vector<colstore::ShardScenario> scenarios =
+      colstore::read_shard_file(path);
+  obs::record_event(kLoad, static_cast<std::uint64_t>(scenarios.size()));
+  for (colstore::ShardScenario& sc : scenarios) {
+    StoredScenario s;
+    s.name = sc.name;
+    s.source = std::move(sc.source);
+    s.machine = std::move(sc.machine);
+    s.source_file = path;
+    s.window_start = sc.window_start;
+    s.window_end = sc.window_end;
+    s.replicates = sc.replicates;
+    s.headline = sc.headline;
+    s.change_points = std::move(sc.change_points);
+    s.channels.reserve(sc.channels.size());
+    for (colstore::ShardChannel& c : sc.channels) {
+      StoredChannel ch;
+      ch.name = c.aggregate.name;
+      ch.unit = c.aggregate.unit;
+      ch.aggregate = std::move(c.aggregate);
+      // The shard stores the columns the JSON path would compute —
+      // ingest moves them instead of re-deriving anything.
+      adopt_columns(ch, std::move(c.columns));
+      s.channels.push_back(std::move(ch));
+    }
+    insert_scenario(std::move(s));
+  }
+  ++hcaf_ingests_;
+  return scenarios.size();
+}
+
+std::string ArtifactStore::format() const {
+  const int kinds = (memory_ingests_ > 0 ? 1 : 0) +
+                    (json_ingests_ > 0 ? 1 : 0) + (hcaf_ingests_ > 0 ? 1 : 0);
+  if (kinds > 1) return "mixed";
+  if (hcaf_ingests_ > 0) return "hcaf";
+  if (json_ingests_ > 0) return "json";
+  if (memory_ingests_ > 0) return "memory";
+  return "empty";
 }
 
 std::size_t ArtifactStore::load_directory(const std::string& dir) {

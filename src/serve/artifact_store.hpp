@@ -108,6 +108,18 @@ class ArtifactStore {
   /// filename order.  Returns the number of files ingested.
   std::size_t load_directory(const std::string& dir);
 
+  /// Ingest every scenario of one HCAF shard file (colstore/hcaf.hpp).
+  /// Near-instant: the shard carries the columns and prefix sums
+  /// pre-computed, so ingest is validation plus moves — no JSON parse, no
+  /// prefix-sum pass.  Returns the number of scenarios ingested.  Throws
+  /// ParseError on a truncated/corrupt/over-versioned shard,
+  /// DuplicateScenarioError on a duplicate scenario id.
+  std::size_t load_hcaf_file(const std::string& path);
+
+  /// Ingest format of this store's contents so far: "empty", "memory"
+  /// (add()), "json", "hcaf", or "mixed" when more than one applies.
+  [[nodiscard]] std::string format() const;
+
   [[nodiscard]] std::size_t scenario_count() const {
     return scenarios_.size();
   }
@@ -132,9 +144,17 @@ class ArtifactStore {
       const StoredChannel& channel, SimTime start, SimTime end);
 
  private:
+  /// Common ingest tail: sort channels, reject duplicate channel and
+  /// scenario names, insert.
+  void insert_scenario(StoredScenario&& s);
+
   // Scenarios sorted by name: a std::map gives deterministic iteration and
   // stable addresses (the front hands out StoredScenario pointers).
   std::map<std::string, StoredScenario> scenarios_;
+  // Ingest-kind counters behind format().
+  std::size_t memory_ingests_ = 0;
+  std::size_t json_ingests_ = 0;
+  std::size_t hcaf_ingests_ = 0;
 };
 
 }  // namespace hpcem::serve

@@ -63,7 +63,10 @@ constexpr std::string_view kErrorPrefix = "{\"ok\":false";
 }  // namespace
 
 ServeFront::ServeFront(const ArtifactStore& store, ServeOptions options)
-    : engine_(store),
+    : ServeFront(MultiStore::view(store), std::move(options)) {}
+
+ServeFront::ServeFront(MultiStore stores, ServeOptions options)
+    : engine_(std::move(stores)),
       max_queue_(options.max_queue >= 1 ? options.max_queue : 1),
       postmortem_path_(std::move(options.postmortem_path)),
       slow_request_threshold_(options.slow_request_threshold),
@@ -190,9 +193,22 @@ JsonValue ServeFront::stats_result() const {
   front.set("cache", std::move(cache));
   front.set("peak_queue_depth", s.peak_queue_depth);
 
+  const MultiStore& stores = engine_.stores();
   JsonValue store = JsonValue::object();
-  store.set("scenarios", engine_.store().scenario_count());
-  store.set("series_samples", engine_.store().total_series_samples());
+  store.set("scenarios", stores.scenario_count());
+  store.set("series_samples", stores.total_series_samples());
+  store.set("format", stores.format());
+  store.set("shard_count", stores.shard_count());
+  JsonValue shards = JsonValue::array();
+  for (std::size_t i = 0; i < stores.shard_count(); ++i) {
+    const ArtifactStore& s_i = stores.shard(i);
+    JsonValue sv = JsonValue::object();
+    sv.set("scenarios", s_i.scenario_count());
+    sv.set("series_samples", s_i.total_series_samples());
+    sv.set("format", s_i.format());
+    shards.push_back(std::move(sv));
+  }
+  store.set("shards", std::move(shards));
 
   // Obs metrics are process-global; restrict the exposed section to the
   // serve tier so the document does not depend on what else the process

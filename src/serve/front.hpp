@@ -77,10 +77,15 @@ struct FrontStats {
   std::size_t peak_queue_depth = 0;
 };
 
-/// Thread-safe query service over a frozen ArtifactStore.
+/// Thread-safe query service over a frozen ArtifactStore (or a sharded
+/// MultiStore).
 class ServeFront {
  public:
   ServeFront(const ArtifactStore& store, ServeOptions options);
+  /// Sharded front: routes every lookup through the MultiStore's
+  /// consistent-hash ring.  Responses are byte-identical to a
+  /// single-store front holding the same scenarios.
+  ServeFront(MultiStore stores, ServeOptions options);
   ~ServeFront();
   ServeFront(const ServeFront&) = delete;
   ServeFront& operator=(const ServeFront&) = delete;

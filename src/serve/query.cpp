@@ -336,8 +336,8 @@ std::string QueryEngine::handle_line(const std::string& line) const {
 JsonValue QueryEngine::list() const {
   HPCEM_OBS_REQUEST_SPAN("serve.query.list");
   JsonValue scenarios = JsonValue::array();
-  for (const std::string& name : store_->scenario_names()) {
-    const StoredScenario& s = store_->at(name);
+  for (const std::string& name : stores_.scenario_names()) {
+    const StoredScenario& s = stores_.at(name);
     JsonValue o = JsonValue::object();
     o.set("scenario", s.name);
     o.set("source", s.source);
@@ -366,7 +366,7 @@ JsonValue QueryEngine::list() const {
 
 JsonValue QueryEngine::window_aggregate(const QueryRequest& r) const {
   HPCEM_OBS_REQUEST_SPAN("serve.query.window_aggregate");
-  const StoredScenario& s = store_->at(r.scenario);
+  const StoredScenario& s = stores_.at(r.scenario);
   const StoredChannel* ch = s.find_channel(r.channel);
   require(ch != nullptr, "query: unknown channel '" + r.channel +
                              "' in scenario '" + r.scenario + "'");
@@ -427,7 +427,7 @@ JsonValue QueryEngine::window_aggregate(const QueryRequest& r) const {
 
 JsonValue QueryEngine::regimes(const QueryRequest& r) const {
   HPCEM_OBS_REQUEST_SPAN("serve.query.regimes");
-  const StoredScenario& s = store_->at(r.scenario);
+  const StoredScenario& s = stores_.at(r.scenario);
   HPCEM_ASSERT(r.intensity.has_value(), "regimes: parsed without intensity");
   const IntensitySpec& intensity = *r.intensity;
   const SimTime start = r.start.value_or(s.window_start);
@@ -509,8 +509,8 @@ JsonValue QueryEngine::regimes(const QueryRequest& r) const {
 
 JsonValue QueryEngine::compare(const QueryRequest& r) const {
   HPCEM_OBS_REQUEST_SPAN("serve.query.compare");
-  const StoredScenario& a = store_->at(r.scenario_a);
-  const StoredScenario& b = store_->at(r.scenario_b);
+  const StoredScenario& a = stores_.at(r.scenario_a);
+  const StoredScenario& b = stores_.at(r.scenario_b);
   const auto side = [](const StoredScenario& s) {
     require(s.headline.window_energy_kwh > 0.0,
             "query: scenario '" + s.name +
@@ -540,7 +540,7 @@ JsonValue QueryEngine::compare(const QueryRequest& r) const {
 
 JsonValue QueryEngine::whatif(const QueryRequest& r) const {
   HPCEM_OBS_REQUEST_SPAN("serve.query.whatif");
-  const StoredScenario& s = store_->at(r.scenario);
+  const StoredScenario& s = stores_.at(r.scenario);
   const StoredChannel* ch = s.find_channel(r.channel);
   require(ch != nullptr, "query: unknown channel '" + r.channel +
                              "' in scenario '" + r.scenario + "'");

@@ -34,6 +34,7 @@
 
 #include "core/emissions.hpp"
 #include "serve/artifact_store.hpp"
+#include "serve/multi_store.hpp"
 #include "util/json.hpp"
 
 namespace hpcem::serve {
@@ -93,11 +94,18 @@ struct QueryRequest {
   [[nodiscard]] static std::string op_name(Op op);
 };
 
-/// Answers queries from a frozen store.  Stateless beyond the store
-/// pointer; safe to share across worker threads.
+/// Answers queries from a frozen store (or a sharded MultiStore — the
+/// engine cannot tell the difference, which is the point).  Stateless
+/// beyond the store routing table; safe to share across worker threads.
 class QueryEngine {
  public:
-  explicit QueryEngine(const ArtifactStore& store) : store_(&store) {}
+  /// Single-store engine: wraps the store in a non-owning MultiStore
+  /// view.  `store` must outlive the engine.
+  explicit QueryEngine(const ArtifactStore& store)
+      : stores_(MultiStore::view(store)) {}
+  /// Sharded engine.  Attached (non-owning) shards must outlive the
+  /// engine; adopted shards are kept alive by the copied routing table.
+  explicit QueryEngine(MultiStore stores) : stores_(std::move(stores)) {}
 
   /// Evaluate a validated request.  Throws hpcem::Error subclasses for
   /// domain failures (unknown scenario, no stored series, ...).
@@ -108,7 +116,7 @@ class QueryEngine {
   /// throws — every failure becomes a deterministic error response.
   [[nodiscard]] std::string handle_line(const std::string& line) const;
 
-  [[nodiscard]] const ArtifactStore& store() const { return *store_; }
+  [[nodiscard]] const MultiStore& stores() const { return stores_; }
 
  private:
   [[nodiscard]] JsonValue list() const;
@@ -117,7 +125,7 @@ class QueryEngine {
   [[nodiscard]] JsonValue compare(const QueryRequest& r) const;
   [[nodiscard]] JsonValue whatif(const QueryRequest& r) const;
 
-  const ArtifactStore* store_;
+  MultiStore stores_;
 };
 
 /// Wrap an evaluated result / error into the response envelope and render

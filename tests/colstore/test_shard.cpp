@@ -1,0 +1,128 @@
+// HashRing determinism/coverage and the compaction-manifest JSON codec.
+// The ring is the routing contract between hpcem_compact and
+// serve::MultiStore: any process that knows the shard count must
+// reproduce the assignment exactly.
+#include "colstore/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "colstore/format.hpp"
+#include "util/error.hpp"
+
+namespace hpcem::colstore {
+namespace {
+
+std::vector<std::string> scenario_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("figure2-rollout-rep" + std::to_string(i));
+  }
+  return ids;
+}
+
+TEST(HashRing, RejectsZeroCounts) {
+  EXPECT_THROW(HashRing(0), InvalidArgument);
+  EXPECT_THROW(HashRing(4, 0), InvalidArgument);
+}
+
+TEST(HashRing, SingleShardOwnsEverything) {
+  const HashRing ring(1);
+  for (const std::string& id : scenario_ids(100)) {
+    EXPECT_EQ(ring.shard_of(id), 0u);
+  }
+}
+
+TEST(HashRing, AssignmentIsDeterministicAcrossIndependentRings) {
+  // The compactor and the serve tier build their rings in different
+  // processes; identical parameters must yield identical routing.
+  const HashRing compactor_ring(4);
+  const HashRing serve_ring(4);
+  for (const std::string& id : scenario_ids(500)) {
+    const std::size_t shard = compactor_ring.shard_of(id);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, serve_ring.shard_of(id));
+  }
+}
+
+TEST(HashRing, EveryShardReceivesWorkAtRealisticScale) {
+  const std::size_t shard_count = 8;
+  const HashRing ring(shard_count);
+  std::vector<std::size_t> per_shard(shard_count, 0);
+  const std::size_t n = 4000;
+  for (const std::string& id : scenario_ids(n)) {
+    ++per_shard[ring.shard_of(id)];
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    // Consistent hashing with 64 vnodes/shard spreads unevenly but never
+    // starves; assert a loose floor (1/16 of fair share) so the test pins
+    // "every shard carries work" without over-pinning the hash.
+    EXPECT_GT(per_shard[s], n / (shard_count * 16))
+        << "shard " << s << " is starved";
+  }
+}
+
+TEST(HashRing, MoreVnodesKeepAssignmentsValid) {
+  const HashRing ring(3, 256);
+  EXPECT_EQ(ring.vnodes_per_shard(), 256u);
+  for (const std::string& id : scenario_ids(64)) {
+    EXPECT_LT(ring.shard_of(id), 3u);
+  }
+}
+
+ShardManifest sample_manifest() {
+  ShardManifest m;
+  m.format_version = kFormatVersion;
+  m.shard_count = 2;
+  m.vnodes_per_shard = HashRing::kDefaultVnodes;
+  m.shards.push_back({"shard-000.hcaf", {"alpha", "mid"}, 4096,
+                      "deadbeefcafef00d"});
+  m.shards.push_back({"shard-001.hcaf", {"zeta"}, 2048, "0123456789abcdef"});
+  return m;
+}
+
+TEST(ShardManifest, RoundTripsThroughJson) {
+  const ShardManifest m = sample_manifest();
+  const ShardManifest back = ShardManifest::from_json_text(m.to_json_text());
+  EXPECT_EQ(back.format_version, m.format_version);
+  EXPECT_EQ(back.shard_count, m.shard_count);
+  EXPECT_EQ(back.vnodes_per_shard, m.vnodes_per_shard);
+  ASSERT_EQ(back.shards.size(), 2u);
+  EXPECT_EQ(back.shards[0].file, "shard-000.hcaf");
+  EXPECT_EQ(back.shards[0].scenarios,
+            (std::vector<std::string>{"alpha", "mid"}));
+  EXPECT_EQ(back.shards[0].bytes, 4096u);
+  EXPECT_EQ(back.shards[0].checksum_fnv1a64, "deadbeefcafef00d");
+  EXPECT_EQ(back.shards[1].file, "shard-001.hcaf");
+  // Canonical text is a fixed point.
+  EXPECT_EQ(back.to_json_text(), m.to_json_text());
+}
+
+TEST(ShardManifest, RejectsWrongSchemaVersionAndShape) {
+  const ShardManifest m = sample_manifest();
+
+  std::string wrong_schema = m.to_json_text();
+  const auto pos = wrong_schema.find("hpcem.hcaf_manifest.v1");
+  ASSERT_NE(pos, std::string::npos);
+  wrong_schema.replace(pos, 22, "hpcem.other_document.v9");
+  EXPECT_THROW((void)ShardManifest::from_json_text(wrong_schema),
+               InvalidArgument);
+
+  ShardManifest over_versioned = m;
+  over_versioned.format_version = kFormatVersion + 1;
+  EXPECT_THROW(
+      (void)ShardManifest::from_json_text(over_versioned.to_json_text()),
+      InvalidArgument);
+
+  ShardManifest miscounted = m;
+  miscounted.shard_count = 5;  // claims 5 shards, lists 2
+  EXPECT_THROW(
+      (void)ShardManifest::from_json_text(miscounted.to_json_text()),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcem::colstore

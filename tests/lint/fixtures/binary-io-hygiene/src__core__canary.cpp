@@ -1,0 +1,12 @@
+// Canary for binary-io-hygiene: raw byte punning outside src/colstore.
+#include <cstring>
+
+double decode_le_double(const char* buffer) {
+  double value = 0.0;
+  std::memcpy(&value, buffer, sizeof(value));  // finding: raw memcpy
+  return value;
+}
+
+const unsigned char* as_bytes(const char* buffer) {
+  return reinterpret_cast<const unsigned char*>(buffer);  // finding
+}

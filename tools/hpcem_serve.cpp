@@ -1,24 +1,33 @@
 // hpcem_serve: concurrent emissions-query service over stored run
 // artifacts.
 //
-// Loads a directory of `*.artifact.json` files (written by
-// `hpcem_sim --serve-export`, `hpcem_replay --artifact-out` or
-// `hpcem_analyze --serve-export`) into an in-memory column store, then
-// answers NDJSON query requests on stdin with one NDJSON response per
-// line on stdout — windowed aggregates, emissions-regime splits,
-// perf-per-kWh comparisons and carbon what-ifs, without re-running any
-// simulation.  See docs/SERVE_SCHEMA.md for the wire format.
+// Loads a store directory into memory and answers NDJSON query requests
+// on stdin with one NDJSON response per line on stdout — windowed
+// aggregates, emissions-regime splits, perf-per-kWh comparisons and
+// carbon what-ifs, without re-running any simulation.  See
+// docs/SERVE_SCHEMA.md for the wire format.
 //
-// Responses are byte-deterministic for a given store: the same request
-// stream produces the same response bytes for any --workers count, with
-// the cache on or off.
+// Two ingest formats, freely mixed in one directory:
+//   *.artifact.json  — JSON artifacts (hpcem_sim --serve-export,
+//                      hpcem_replay --artifact-out, hpcem_analyze
+//                      --serve-export), parsed and columnised at load;
+//   *.hcaf           — compacted binary shards (hpcem_compact), loaded
+//                      near-instantly as one store per shard and routed
+//                      via the compaction consistent-hash ring.
+//
+// Responses are byte-deterministic for a given scenario set: the same
+// request stream produces the same response bytes for any --workers
+// count, any shard count, with the cache on or off.
 //
 // Examples:
 //   hpcem_serve --store runs/ --once '{"op":"list"}'
 //   hpcem_serve --store runs/ --requests queries.ndjson > answers.ndjson
-//   hpcem_serve --store runs/ --workers 8 < queries.ndjson
+//   hpcem_serve --store shards/ --workers 8 < queries.ndjson
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "obs/metrics_export.hpp"
 #include "obs/session.hpp"
@@ -29,6 +38,27 @@
 namespace {
 
 using namespace hpcem;
+
+/// `*.hcaf` shard files directly inside `dir`, sorted for reproducible
+/// load order.
+std::vector<std::string> shard_paths(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::directory_iterator it(dir, ec);
+  if (ec) {
+    throw ParseError("hpcem_serve: cannot read directory " + dir + ": " +
+                     ec.message());
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() == ".hcaf") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
 
 }  // namespace
 
@@ -77,10 +107,25 @@ int main(int argc, char** argv) {
       obs::set_enabled(true);
     }
 
-    serve::ArtifactStore store;
+    serve::MultiStore stores;
     std::size_t files = 0;
     try {
-      files = store.load_directory(args.get("store"));
+      // HCAF shards first, one store per shard: lookups then route via the
+      // compaction ring, and the stats per-shard section mirrors the shard
+      // files one-to-one.
+      for (const std::string& path : shard_paths(args.get("store"))) {
+        auto shard = std::make_shared<serve::ArtifactStore>();
+        shard->load_hcaf_file(path);
+        stores.adopt(std::move(shard));
+        ++files;
+      }
+      auto json_store = std::make_shared<serve::ArtifactStore>();
+      const std::size_t json_files =
+          json_store->load_directory(args.get("store"));
+      if (json_files > 0) {
+        stores.adopt(std::move(json_store));
+        files += json_files;
+      }
     } catch (const serve::DuplicateScenarioError& e) {
       // The store directory itself is inconsistent — that is a usage
       // mistake (pick a different directory or rename a scenario), not a
@@ -89,7 +134,7 @@ int main(int argc, char** argv) {
       return tools::kExitUsage;
     }
     if (files == 0) {
-      std::cerr << "error: no *.artifact.json files in "
+      std::cerr << "error: no *.artifact.json or *.hcaf files in "
                 << args.get("store") << '\n';
       return tools::kExitFailure;
     }
@@ -104,7 +149,7 @@ int main(int argc, char** argv) {
     options.postmortem_path = args.get("postmortem");
     options.slow_request_threshold =
         static_cast<std::uint64_t>(args.get_int("slow-ms")) * 1'000'000ULL;
-    serve::ServeFront front(store, options);
+    serve::ServeFront front(stores, options);
 
     std::size_t served = 0;
     if (!args.get("once").empty()) {
@@ -134,8 +179,9 @@ int main(int argc, char** argv) {
     if (args.get_flag("stats")) {
       const serve::FrontStats s = front.stats();
       std::cerr << "hpcem_serve: " << files << " files, "
-                << store.scenario_count() << " scenarios, "
-                << store.total_series_samples() << " series samples | "
+                << stores.shard_count() << " stores (" << stores.format()
+                << "), " << stores.scenario_count() << " scenarios, "
+                << stores.total_series_samples() << " series samples | "
                 << served << " requests, " << s.evaluations
                 << " evaluations, " << s.cache.hits << " cache hits, "
                 << s.coalesced << " coalesced, peak queue "

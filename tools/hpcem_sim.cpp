@@ -84,8 +84,9 @@ int run_campaign_manifest(const ArgParser& args) {
           make_campaign_artifacts(result, manifest.specs);
       for (const auto& artifact : artifacts) {
         std::cout << "campaign artifact written: "
-                  << write_artifact_files(
-                         artifact, (dir / artifact.scenario).string())
+                  << tools::export_serve_artifact(
+                         artifact, (dir / artifact.scenario).string(),
+                         args.get("serve-format"))
                   << '\n';
       }
     }
@@ -126,10 +127,16 @@ int main(int argc, char** argv) {
                   "write <basename>.artifact.json with the full telemetry "
                   "series embedded, ready for hpcem_serve --store (with "
                   "--campaign: a directory of per-scenario artifacts)");
+  args.add_option("serve-format", "json",
+                  "--serve-export format: json | hcaf (binary shard, "
+                  "docs/ARTIFACT_BINARY.md)");
   args.add_flag("metrics", "print service metrics for the window");
 
   args.set_version(tools::version_line("hpcem_sim"));
   if (!args.parse(argc, argv)) return tools::parse_exit(args);
+  if (!tools::valid_serve_format(args.get("serve-format"))) {
+    return tools::usage_error(args, "--serve-format must be json or hcaf");
+  }
 
   if (!args.get("campaign").empty()) {
     if (!args.get("spec").empty()) {
@@ -237,8 +244,9 @@ int main(int argc, char** argv) {
       artifact.channels =
           aggregate_channels(sim->telemetry(), /*include_series=*/true);
       std::cout << "serve artifact written: "
-                << write_artifact_files(artifact,
-                                        args.get("serve-export"))
+                << tools::export_serve_artifact(artifact,
+                                                args.get("serve-export"),
+                                                args.get("serve-format"))
                 << '\n';
     }
     return tools::kExitOk;
